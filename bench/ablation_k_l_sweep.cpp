@@ -1,0 +1,33 @@
+// Ablation of the §III-D first/second-pass sizes: the paper fixes K=8
+// candidates refined to L=4 contexts. This sweep varies both and reports
+// the mean rubric score of the rerank-RAG arm, showing where the paper's
+// operating point sits.
+#include "bench_common.h"
+
+int main() {
+  using namespace pkb;
+  bench::Setup s = bench::make_setup();
+  bench::print_header("Ablation: first-pass K and final L", s);
+
+  const std::vector<std::size_t> ks = {4, 8, 16, 32};
+  const std::vector<std::size_t> ls = {1, 2, 4, 8};
+
+  std::printf("%-10s", "K \\ L");
+  for (std::size_t l : ls) std::printf(" %8zu", l);
+  std::printf("\n");
+
+  for (std::size_t k : ks) {
+    std::printf("%-10zu", k);
+    for (std::size_t l : ls) {
+      rag::RetrieverOptions opts = s.retriever;
+      opts.first_pass_k = k;
+      opts.final_l = l;
+      const eval::BenchmarkRunner runner(*s.db, s.model, opts);
+      const eval::ArmReport report = runner.run(rag::PipelineArm::RagRerank);
+      std::printf(" %8.2f", report.scores.mean());
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper operating point: K=8, L=4\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Reproduces Fig 6a: per-question rubric scores of the GPT-4o-analogue
+// baseline (no retrieval) vs plain RAG over the 37-question Krylov
+// benchmark.
+//
+// Paper shape: RAG improves the score of 20 questions and degrades 3.
+#include "bench_common.h"
+
+int main() {
+  using namespace pkb;
+  bench::Setup s = bench::make_setup();
+  bench::print_header("Fig 6a: baseline vs RAG", s);
+
+  const eval::BenchmarkRunner runner = s.runner();
+  const eval::ArmReport baseline = runner.run(rag::PipelineArm::Baseline);
+  const eval::ArmReport rag_arm = runner.run(rag::PipelineArm::Rag);
+
+  std::printf("%s\n", eval::render_comparison_table(baseline, rag_arm).c_str());
+  std::printf("%s\n", eval::render_score_distribution(baseline).c_str());
+  std::printf("%s\n", eval::render_score_distribution(rag_arm).c_str());
+
+  const eval::ArmComparison cmp = eval::compare_arms(baseline, rag_arm);
+  std::printf("paper reports:    improved 20, degraded 3 (of 37)\n");
+  std::printf("this reproduction: improved %zu, degraded %zu (of %zu)\n",
+              cmp.improved, cmp.degraded, cmp.deltas.size());
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Reproduces Fig 6c: the impact of reranking — plain RAG vs
+// reranking-enhanced RAG, question by question.
+//
+// Paper shape: reranking improves 11 questions with no degradation; two
+// questions gain 3 full rubric points.
+#include "bench_common.h"
+
+int main() {
+  using namespace pkb;
+  bench::Setup s = bench::make_setup();
+  bench::print_header("Fig 6c: impact of reranking on RAG", s);
+
+  const eval::BenchmarkRunner runner = s.runner();
+  const eval::ArmReport rag_arm = runner.run(rag::PipelineArm::Rag);
+  const eval::ArmReport rerank = runner.run(rag::PipelineArm::RagRerank);
+
+  std::printf("%s\n", eval::render_comparison_table(rag_arm, rerank).c_str());
+
+  const eval::ArmComparison cmp = eval::compare_arms(rag_arm, rerank);
+  std::size_t plus3 = 0;
+  for (int d : cmp.deltas) {
+    if (d >= 3) ++plus3;
+  }
+  std::printf("paper reports:     improved 11, degraded 0, two questions "
+              "gained +3\n");
+  std::printf("this reproduction: improved %zu, degraded %zu, %zu questions "
+              "gained +3\n",
+              cmp.improved, cmp.degraded, plus3);
+  return 0;
+}

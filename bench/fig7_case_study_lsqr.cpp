@@ -1,0 +1,85 @@
+// Reproduces Fig 7 (Case Study 1): the non-square / rectangular matrix
+// question.
+//
+// Paper: plain RAG failed to suggest the KSP solver for non-square systems
+// (score 1); reranking-enhanced RAG retrieved the decisive context —
+//   "KSP can also be used to solve least squares problems, using, for
+//    example, KSPLSQR..."
+// — and recommended KSPLSQR (score 4).
+#include "bench_common.h"
+
+#include "util/strings.h"
+
+namespace {
+
+void show_arm(const char* label, const pkb::rag::AugmentedWorkflow& workflow,
+              const pkb::corpus::BenchmarkQuestion& q) {
+  const pkb::rag::WorkflowOutcome outcome = workflow.ask(q.question);
+  const pkb::eval::RubricVerdict verdict =
+      pkb::eval::score_answer(q, outcome.response.text);
+  std::printf("--- %s ---\n", label);
+  std::printf("contexts passed to the LLM (attention window = 4):\n");
+  std::size_t shown = 0;
+  for (const auto& ctx : outcome.retrieval.contexts) {
+    if (shown++ == 4) break;
+    std::printf("  [%zu] %-44s (%s)\n", shown, ctx.doc->id.c_str(),
+                ctx.via.c_str());
+  }
+  std::printf("response: %s\n", outcome.response.text.c_str());
+  std::printf("score: (%d)  justification: %s\n\n", verdict.score,
+              verdict.justification.c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace pkb;
+  bench::Setup s = bench::make_setup();
+  bench::print_header(
+      "Fig 7 / Case Study 1: rectangular (non-square) systems", s);
+
+  const corpus::BenchmarkQuestion& q = corpus::krylov_benchmark()[1];  // Q2
+  std::printf("Question: %s\n\n", q.question.c_str());
+
+  const rag::AugmentedWorkflow rag_arm(*s.db, rag::PipelineArm::Rag, s.model,
+                                       s.retriever);
+  const rag::AugmentedWorkflow rerank_arm(*s.db, rag::PipelineArm::RagRerank,
+                                          s.model, s.retriever);
+  show_arm("LLM with RAG", rag_arm, q);
+  show_arm("LLM with reranking-enhanced RAG", rerank_arm, q);
+
+  // The decisive-context check the paper narrates: does the rerank arm's
+  // window contain the KSPLSQR material?
+  const rag::WorkflowOutcome rr = rerank_arm.ask(q.question);
+  bool decisive_in_window = false;
+  std::size_t i = 0;
+  for (const auto& ctx : rr.retrieval.contexts) {
+    if (i++ == 4) break;
+    if (pkb::util::icontains(ctx.doc->text, "KSPLSQR")) {
+      decisive_in_window = true;
+    }
+  }
+  std::printf("decisive KSPLSQR context in rerank-RAG attention window: %s\n",
+              decisive_in_window ? "yes" : "no");
+
+  // Paper note: in the paper's (much larger, noisier) corpus, plain RAG
+  // missed the decisive context and scored 1 while rerank-RAG scored 4. In
+  // this reproduction's corpus plain RAG may already find KSPLSQR; the same
+  // promoted-by-reranking mechanism is then visible on whichever benchmark
+  // questions plain RAG does miss — list them:
+  const eval::BenchmarkRunner runner = s.runner();
+  const eval::ArmReport rag_report = runner.run(rag::PipelineArm::Rag);
+  const eval::ArmReport rr_report = runner.run(rag::PipelineArm::RagRerank);
+  std::printf("\nquestions where reranking rescued plain RAG in this run:\n");
+  for (std::size_t i = 0; i < rag_report.outcomes.size(); ++i) {
+    const int a = rag_report.outcomes[i].verdict.score;
+    const int b = rr_report.outcomes[i].verdict.score;
+    if (b > a) {
+      std::printf("  Q%-3d %d -> %d  %s\n",
+                  rag_report.outcomes[i].question_id, a, b,
+                  pkb::util::ellipsize(rag_report.outcomes[i].question, 60)
+                      .c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Micro-benchmarks of the text substrate: Markdown parsing, splitting, and
+// tokenization throughput over the generated corpus.
+#include <benchmark/benchmark.h>
+
+#include "corpus/generator.h"
+#include "lexical/bm25.h"
+#include "text/loader.h"
+#include "text/markdown.h"
+#include "text/splitter.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+const pkb::text::VirtualDir& corpus() {
+  static const auto* tree =
+      new pkb::text::VirtualDir(pkb::corpus::generate_corpus());
+  return *tree;
+}
+
+std::size_t corpus_bytes() {
+  std::size_t bytes = 0;
+  for (const auto& file : corpus()) bytes += file.content.size();
+  return bytes;
+}
+
+void BM_MarkdownParse(benchmark::State& state) {
+  for (auto _ : state) {
+    std::size_t blocks = 0;
+    for (const auto& file : corpus()) {
+      blocks += pkb::text::parse_markdown(file.content).size();
+    }
+    benchmark::DoNotOptimize(blocks);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(corpus_bytes()));
+}
+
+void BM_StripMarkdown(benchmark::State& state) {
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (const auto& file : corpus()) {
+      total += pkb::text::strip_markdown(file.content).size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(corpus_bytes()));
+}
+
+void BM_Splitter(benchmark::State& state) {
+  const pkb::text::MarkdownLoader loader(pkb::text::MarkdownMode::Single,
+                                         /*drop_headings=*/true);
+  const auto docs = loader.load(corpus());
+  pkb::text::SplitterOptions opts;
+  opts.chunk_size = static_cast<std::size_t>(state.range(0));
+  opts.chunk_overlap = opts.chunk_size / 7;
+  const pkb::text::RecursiveCharacterTextSplitter splitter(opts);
+  for (auto _ : state) {
+    auto chunks = splitter.split_documents(docs);
+    benchmark::DoNotOptimize(chunks.data());
+    state.counters["chunks"] = static_cast<double>(chunks.size());
+  }
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  for (auto _ : state) {
+    std::size_t tokens = 0;
+    for (const auto& file : corpus()) {
+      tokens += pkb::text::tokens_of(file.content).size();
+    }
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(corpus_bytes()));
+}
+
+void BM_Bm25Build(benchmark::State& state) {
+  const pkb::text::MarkdownLoader loader(pkb::text::MarkdownMode::Single,
+                                         /*drop_headings=*/true);
+  const pkb::text::RecursiveCharacterTextSplitter splitter;
+  const auto chunks = splitter.split_documents(loader.load(corpus()));
+  for (auto _ : state) {
+    pkb::lexical::Bm25Index index;
+    index.build(chunks);
+    benchmark::DoNotOptimize(index.size());
+  }
+}
+
+void BM_Bm25Search(benchmark::State& state) {
+  const pkb::text::MarkdownLoader loader(pkb::text::MarkdownMode::Single,
+                                         /*drop_headings=*/true);
+  const pkb::text::RecursiveCharacterTextSplitter splitter;
+  static pkb::lexical::Bm25Index index;
+  static bool built = false;
+  if (!built) {
+    index.build(splitter.split_documents(loader.load(corpus())));
+    built = true;
+  }
+  for (auto _ : state) {
+    auto hits = index.search(
+        "rectangular least squares matrix solver tolerance", 8);
+    benchmark::DoNotOptimize(hits.data());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_MarkdownParse);
+BENCHMARK(BM_StripMarkdown);
+BENCHMARK(BM_Splitter)->Arg(200)->Arg(700)->Arg(2000);
+BENCHMARK(BM_Tokenize);
+BENCHMARK(BM_Bm25Build);
+BENCHMARK(BM_Bm25Search);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Micro-benchmarks of the vector store: exact search scaling with corpus
+// size and the IVF speed/recall trade-off.
+#include <benchmark/benchmark.h>
+
+#include "embed/embedder.h"
+#include "util/rng.h"
+#include "vectordb/ivf.h"
+#include "vectordb/vector_store.h"
+
+namespace {
+
+using pkb::embed::Vector;
+using pkb::vectordb::IvfIndex;
+using pkb::vectordb::IvfOptions;
+using pkb::vectordb::VectorStore;
+
+VectorStore make_store(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  pkb::util::Rng rng(seed);
+  VectorStore store;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector v(dim);
+    for (float& x : v) x = static_cast<float>(rng.normal());
+    pkb::text::Document doc;
+    doc.id = "doc-" + std::to_string(i);
+    store.add(std::move(doc), std::move(v));
+  }
+  return store;
+}
+
+Vector make_query(std::size_t dim, std::uint64_t seed) {
+  pkb::util::Rng rng(seed);
+  Vector q(dim);
+  for (float& x : q) x = static_cast<float>(rng.normal());
+  return q;
+}
+
+void BM_ExactTopK(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t dim = 128;
+  const VectorStore store = make_store(n, dim, 1);
+  const Vector q = make_query(dim, 2);
+  for (auto _ : state) {
+    auto hits = store.similarity_search(q, 8);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+
+void BM_IvfTopK(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto nprobe = static_cast<std::size_t>(state.range(1));
+  const std::size_t dim = 128;
+  const VectorStore store = make_store(n, dim, 1);
+  IvfOptions opts;
+  opts.nprobe = nprobe;
+  const IvfIndex index(store, opts);
+  const Vector q = make_query(dim, 2);
+  for (auto _ : state) {
+    auto hits = index.search(q, 8);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  // Report the recall of this configuration alongside the speed.
+  std::vector<Vector> queries;
+  for (std::uint64_t seed = 10; seed < 26; ++seed) {
+    queries.push_back(make_query(dim, seed));
+  }
+  state.counters["recall@8"] = index.recall_at_k(queries, 8);
+  state.counters["clusters"] = static_cast<double>(index.cluster_count());
+}
+
+void BM_StoreSaveLoad(benchmark::State& state) {
+  const VectorStore store = make_store(2000, 128, 3);
+  const std::string path = "/tmp/pkb_bench_store.bin";
+  for (auto _ : state) {
+    store.save(path);
+    VectorStore loaded = VectorStore::load(path);
+    benchmark::DoNotOptimize(loaded.size());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_ExactTopK)->Arg(1000)->Arg(4000)->Arg(16000)->Complexity();
+BENCHMARK(BM_IvfTopK)
+    ->Args({4000, 1})
+    ->Args({4000, 4})
+    ->Args({4000, 16})
+    ->Args({16000, 4});
+BENCHMARK(BM_StoreSaveLoad);
+
+BENCHMARK_MAIN();

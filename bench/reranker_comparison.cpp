@@ -1,0 +1,42 @@
+// Reproduces the §V-B reranker choice: "We have explored the NVIDIA
+// reranker (commercial) and the Flashrank reranker (free)... Both rerankers
+// yield a similar level of accuracy for our database. We selected Flashrank
+// in this study because of its speed."
+//
+// Compares the two rerankers on (a) end-to-end benchmark accuracy and
+// (b) rerank-stage wall time.
+#include "bench_common.h"
+
+#include "rerank/reranker.h"
+#include "util/clock.h"
+
+int main() {
+  using namespace pkb;
+
+  std::printf("=== Sec V-B: reranker comparison ===\n\n");
+  std::printf("%-16s %-12s %-14s %-16s\n", "reranker", "mean score",
+              "score==4 (of 37)", "stage time avg (ms)");
+
+  double flash_time = 0.0;
+  double cross_time = 0.0;
+  for (const std::string& reranker : rerank::reranker_registry()) {
+    bench::Setup s = bench::make_setup("sim-embed-3-large", "sim-gpt-4o",
+                                       reranker);
+    const eval::ArmReport report = s.runner().run(rag::PipelineArm::RagRerank);
+    pkb::util::Summary stage_ms;
+    for (const auto& outcome : report.outcomes) {
+      stage_ms.add(outcome.rerank_seconds * 1e3);
+    }
+    std::printf("%-16s %-12.2f %-14zu %-16.3f\n", reranker.c_str(),
+                report.scores.mean(), report.count_with_score(4),
+                stage_ms.mean());
+    if (reranker == "sim-flashrank") flash_time = stage_ms.mean();
+    if (reranker == "sim-nv-cross") cross_time = stage_ms.mean();
+  }
+  if (flash_time > 0.0) {
+    std::printf("\ncross-encoder reranker costs %.2fx the flashrank stage "
+                "time\n", cross_time / flash_time);
+  }
+  std::printf("paper: similar accuracy; Flashrank selected for speed\n");
+  return 0;
+}

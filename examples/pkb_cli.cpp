@@ -1,0 +1,101 @@
+// Command-line assistant (§III: "For developers, we could even provide
+// command line tools and integrated development environment (IDE)
+// extensions"). A small REPL over the augmented workflow: ask questions,
+// switch arms, inspect retrieval, search the interaction history.
+//
+// Usage: example_pkb_cli            (interactive)
+//        echo "question" | example_pkb_cli
+//
+// Commands:
+//   :arm baseline|rag|rerank   switch pipeline arm
+//   :contexts                  show the contexts of the last answer
+//   :history <substring>       search past interactions
+//   :quit                      exit
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "corpus/generator.h"
+#include "rag/workflow.h"
+#include "util/strings.h"
+
+namespace {
+
+pkb::rag::PipelineArm parse_arm(std::string_view name,
+                                pkb::rag::PipelineArm fallback) {
+  if (name == "baseline") return pkb::rag::PipelineArm::Baseline;
+  if (name == "rag") return pkb::rag::PipelineArm::Rag;
+  if (name == "rerank") return pkb::rag::PipelineArm::RagRerank;
+  std::printf("unknown arm '%.*s' (baseline|rag|rerank)\n",
+              static_cast<int>(name.size()), name.data());
+  return fallback;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pkb;
+
+  std::printf("petsc-kb assistant — building the knowledge base...\n");
+  const rag::RagDatabase db = rag::RagDatabase::build(corpus::generate_corpus());
+  std::printf("ready: %zu documents, %zu chunks. Ask about PETSc Krylov "
+              "solvers; :quit to exit.\n\n",
+              db.source_count(), db.chunks().size());
+
+  history::HistoryStore store;
+  pkb::util::SimClock clock;
+  rag::PipelineArm arm = rag::PipelineArm::RagRerank;
+  auto make_workflow = [&](rag::PipelineArm a) {
+    auto wf = std::make_unique<rag::AugmentedWorkflow>(
+        db, a, llm::model_config("sim-gpt-4o"));
+    wf->attach_history(&store, &clock);
+    return wf;
+  };
+  auto workflow = make_workflow(arm);
+  rag::WorkflowOutcome last;
+
+  std::string line;
+  while (std::printf("pkb[%s]> ", std::string(rag::to_string(arm)).c_str()),
+         std::fflush(stdout), std::getline(std::cin, line)) {
+    const std::string_view input = pkb::util::trim(line);
+    if (input.empty()) continue;
+    if (input == ":quit" || input == ":q") break;
+    if (input.starts_with(":arm ")) {
+      const rag::PipelineArm next = parse_arm(input.substr(5), arm);
+      if (next != arm) {
+        arm = next;
+        workflow = make_workflow(arm);
+      }
+      continue;
+    }
+    if (input == ":contexts") {
+      if (last.retrieval.contexts.empty()) {
+        std::printf("no contexts (baseline arm or no question yet)\n");
+      }
+      for (const auto& ctx : last.retrieval.contexts) {
+        std::printf("  %-48s via %-8s score %.3f\n", ctx.doc->id.c_str(),
+                    ctx.via.c_str(), ctx.score);
+      }
+      continue;
+    }
+    if (input.starts_with(":history ")) {
+      for (const auto* record : store.search(input.substr(9))) {
+        std::printf("  #%llu [%s] %s\n",
+                    static_cast<unsigned long long>(record->id),
+                    record->pipeline.c_str(),
+                    pkb::util::ellipsize(record->question, 70).c_str());
+      }
+      continue;
+    }
+
+    last = workflow->ask(input);
+    std::printf("\n%s\n\n(mode %s | %zu contexts | simulated %.1f s)\n\n",
+                last.response.text.c_str(), last.response.mode.c_str(),
+                last.retrieval.contexts.size(),
+                last.response.latency_seconds);
+  }
+  std::printf("\n%zu interactions recorded this session.\n", store.size());
+  return 0;
+}

@@ -1,0 +1,3 @@
+namespace pkb::bots {
+// placeholder translation unit; real sources replace this module.
+}

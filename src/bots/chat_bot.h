@@ -1,0 +1,92 @@
+#pragma once
+// The PETSc chat bot (arcs 4-7 of Fig 5, adapted from llmcord in the paper):
+//
+//  * a developer invokes /reply on a forum post -> the bot builds the
+//    conversation context and asks the augmented LLM for a draft,
+//  * the draft appears in the post with three buttons: send / discard /
+//    revise,
+//  * send mails the draft to petsc-users signed by the clicking developer,
+//  * discard deletes it, revise regenerates it with developer guidance,
+//  * users may also direct-message the bot (private, unvetted — the mode
+//    the paper warns "may expose the user to unvetted hallucinations").
+//
+// Safety invariant (tested): nothing the LLM wrote ever reaches the mailing
+// list without a developer pressing send.
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "bots/mail.h"
+#include "bots/platform.h"
+#include "rag/workflow.h"
+
+namespace pkb::bots {
+
+/// Outcome of a button press.
+enum class ButtonResult {
+  Ok,
+  UnknownDraft,
+  NotADeveloper,
+  AlreadyResolved,
+};
+
+[[nodiscard]] std::string_view to_string(ButtonResult result);
+
+class ChatBot {
+ public:
+  /// `workflow` generates the drafts (typically the rag+rerank arm);
+  /// `list` is where send() posts; `server` hosts the forum channel.
+  ChatBot(const rag::AugmentedWorkflow* workflow, DiscordServer* server,
+          MailingList* list, std::string forum_channel,
+          std::string bot_email_address);
+
+  /// A developer invokes /reply on a forum post: build the context from the
+  /// post's title and messages, draft a reply, and attach it to the post
+  /// with status=draft. Returns the draft message id, or nullopt when the
+  /// post is unknown or the invoker is not a developer.
+  std::optional<std::uint64_t> handle_reply_command(std::uint64_t post_id,
+                                                    std::string_view developer);
+
+  /// Buttons.
+  ButtonResult press_send(std::uint64_t draft_id, std::string_view developer);
+  ButtonResult press_discard(std::uint64_t draft_id,
+                             std::string_view developer);
+  /// Revise regenerates the draft including the developer's guidance; the
+  /// old draft message is replaced (same post, new message id returned via
+  /// `new_draft_id`).
+  ButtonResult press_revise(std::uint64_t draft_id, std::string_view developer,
+                            std::string_view guidance,
+                            std::uint64_t* new_draft_id);
+
+  /// Private direct message: answered immediately, no vetting. Returns the
+  /// bot's reply text.
+  [[nodiscard]] std::string direct_message(std::string_view user,
+                                           std::string_view text);
+
+  /// Number of emails this bot has sent to the list.
+  [[nodiscard]] std::size_t emails_sent() const { return emails_sent_; }
+
+ private:
+  struct DraftInfo {
+    std::uint64_t post_id = 0;
+    std::string subject;
+    std::string question_context;
+    bool resolved = false;  ///< sent or discarded
+  };
+
+  [[nodiscard]] std::string build_context(const ForumPost& post) const;
+  std::uint64_t attach_draft(std::uint64_t post_id, std::string_view subject,
+                             std::string_view context,
+                             std::string_view extra_guidance);
+
+  const rag::AugmentedWorkflow* workflow_;
+  DiscordServer* server_;
+  MailingList* list_;
+  std::string forum_channel_;
+  std::string bot_email_address_;
+  std::map<std::uint64_t, DraftInfo> drafts_;  ///< draft message id -> info
+  std::size_t emails_sent_ = 0;
+};
+
+}  // namespace pkb::bots

@@ -1,0 +1,78 @@
+#include "bots/email_bot.h"
+
+#include <stdexcept>
+
+namespace pkb::bots {
+
+GmailPoller::GmailPoller(Mailbox* mailbox, DiscordServer* server,
+                         std::string notification_webhook_url,
+                         std::string chatbot_address)
+    : mailbox_(mailbox),
+      server_(server),
+      webhook_url_(std::move(notification_webhook_url)),
+      chatbot_address_(std::move(chatbot_address)) {
+  if (mailbox_ == nullptr || server_ == nullptr) {
+    throw std::invalid_argument("GmailPoller: null dependency");
+  }
+}
+
+bool GmailPoller::poll() {
+  ++polls_;
+  // Ignore (and mark read) the chat bot's own emails so its replies to the
+  // list are not mirrored back into Discord.
+  bool any_foreign_unread = false;
+  for (const Email* email : mailbox_->unread()) {
+    if (email->from == chatbot_address_) {
+      mailbox_->mark_read(email->id);
+    } else {
+      any_foreign_unread = true;
+    }
+  }
+  if (!any_foreign_unread) return false;
+  const auto id = server_->post_via_webhook(
+      webhook_url_, "New petsc-users email available");
+  if (!id.has_value()) return false;
+  ++sent_;
+  return true;
+}
+
+EmailBot::EmailBot(Mailbox* mailbox, DiscordServer* server,
+                   std::string notification_channel, std::string forum_channel)
+    : mailbox_(mailbox),
+      server_(server),
+      notification_channel_(std::move(notification_channel)),
+      forum_channel_(std::move(forum_channel)) {
+  if (mailbox_ == nullptr || server_ == nullptr) {
+    throw std::invalid_argument("EmailBot: null dependency");
+  }
+}
+
+std::size_t EmailBot::process_notifications() {
+  const Channel* notifications = server_->channel(notification_channel_);
+  if (notifications == nullptr) return 0;
+  if (notifications->messages.size() <= seen_notifications_) return 0;
+  seen_notifications_ = notifications->messages.size();
+
+  std::size_t mirrored = 0;
+  for (const Email* email : mailbox_->unread()) {
+    const std::string key = thread_key(email->subject);
+    std::string body = strip_quoted_lines(email->body);
+    body = revert_url_defense(body);
+    const std::string content = "From: " + email->from + "\n" + body;
+
+    const ForumPost* post = server_->find_post(forum_channel_, key);
+    std::uint64_t post_id = 0;
+    if (post == nullptr) {
+      post_id = server_->create_post(forum_channel_, key);
+    } else {
+      post_id = post->id;
+    }
+    server_->add_to_post(forum_channel_, post_id, "email-bot", content,
+                         email->attachments);
+    mailbox_->mark_read(email->id);
+    ++mirrored;
+  }
+  return mirrored;
+}
+
+}  // namespace pkb::bots

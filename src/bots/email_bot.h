@@ -1,0 +1,62 @@
+#pragma once
+// The Gmail poller and the email bot (arcs 1-3 of Fig 5):
+//
+//   petsc-users email -> petscbot@gmail.com (unread) -> Apps-Script poller
+//   -> webhook -> #petsc-users-notification -> email bot fetches unread mail
+//   -> posts each thread as a forum post in #petsc-users-emails.
+
+#include <string>
+
+#include "bots/mail.h"
+#include "bots/platform.h"
+
+namespace pkb::bots {
+
+/// The Apps-Script stand-in: checks the bot mailbox for unread mail and, if
+/// any, pings the notification webhook. Emails FROM the chat bot itself are
+/// marked read and ignored (so bot replies are not re-posted).
+class GmailPoller {
+ public:
+  GmailPoller(Mailbox* mailbox, DiscordServer* server,
+              std::string notification_webhook_url,
+              std::string chatbot_address);
+
+  /// One poll cycle; returns true when a notification was sent.
+  bool poll();
+
+  [[nodiscard]] std::size_t polls() const { return polls_; }
+  [[nodiscard]] std::size_t notifications_sent() const { return sent_; }
+
+ private:
+  Mailbox* mailbox_;
+  DiscordServer* server_;
+  std::string webhook_url_;
+  std::string chatbot_address_;
+  std::size_t polls_ = 0;
+  std::size_t sent_ = 0;
+};
+
+/// The email bot: watches the notification channel and mirrors unread mail
+/// into the forum channel, one post per thread, cleaning the bodies.
+class EmailBot {
+ public:
+  EmailBot(Mailbox* mailbox, DiscordServer* server,
+           std::string notification_channel, std::string forum_channel);
+
+  /// Process any new notification: fetch unread emails, mark them read, and
+  /// post them into the forum. Returns the number of emails mirrored.
+  std::size_t process_notifications();
+
+  [[nodiscard]] const std::string& forum_channel() const {
+    return forum_channel_;
+  }
+
+ private:
+  Mailbox* mailbox_;
+  DiscordServer* server_;
+  std::string notification_channel_;
+  std::string forum_channel_;
+  std::size_t seen_notifications_ = 0;
+};
+
+}  // namespace pkb::bots

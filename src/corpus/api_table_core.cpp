@@ -1,0 +1,577 @@
+// Core KSP/Mat/Vec/Petsc function specifications.
+#include "corpus/api_table_detail.h"
+
+namespace pkb::corpus::detail {
+
+std::vector<ApiSpec> function_specs() {
+  std::vector<ApiSpec> specs;
+  auto add = [&specs](ApiSpec spec) { specs.push_back(std::move(spec)); };
+
+  add(ApiSpec{
+      "KSPCreate",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Creates a KSP context, the PETSc abstraction for a Krylov linear "
+      "solver plus its preconditioner.",
+      "PetscErrorCode KSPCreate(MPI_Comm comm, KSP *ksp);",
+      {"KSPCreate allocates the solver object on a communicator. The usual "
+       "lifecycle is KSPCreate, KSPSetOperators, KSPSetFromOptions, "
+       "KSPSolve, KSPDestroy. The KSP object contains a PC (preconditioner) "
+       "context retrievable with KSPGetPC."},
+      {},
+      {"KSPSetOperators", "KSPSolve", "KSPDestroy", "KSPGetPC"},
+      0.90,
+  });
+
+  add(ApiSpec{
+      "KSPSolve",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Solves the linear system A x = b with the configured Krylov method "
+      "and preconditioner.",
+      "PetscErrorCode KSPSolve(KSP ksp, Vec b, Vec x);",
+      {"KSPSolve runs the configured iterative (or direct, via KSPPREONLY) "
+       "solve. By default the initial guess is zero and x is overwritten "
+       "with the solution; call KSPSetInitialGuessNonzero to start from the "
+       "incoming contents of x. After the solve, interrogate the outcome "
+       "with KSPGetConvergedReason, the iteration count with "
+       "KSPGetIterationNumber, and the residual with KSPGetResidualNorm.",
+       "KSPSolve may be called repeatedly with different right-hand sides; "
+       "the preconditioner is rebuilt only when the operators change (see "
+       "KSPSetReusePreconditioner). For many simultaneous right-hand sides "
+       "use KSPMatSolve instead.",
+       "If the solve diverges, KSPSolve does not error by default; it "
+       "records a negative converged reason. Use "
+       "KSPSetErrorIfNotConverged or check the reason explicitly."},
+      {"-ksp_view : print the solver configuration used",
+       "-ksp_converged_reason : print why the solve stopped"},
+      {"KSPCreate", "KSPSetOperators", "KSPGetConvergedReason",
+       "KSPGetIterationNumber", "KSPMatSolve"},
+      0.92,
+  });
+
+  add(ApiSpec{
+      "KSPSetType",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Sets the Krylov method (KSPType) to be used, e.g. KSPGMRES or "
+      "KSPCG.",
+      "PetscErrorCode KSPSetType(KSP ksp, KSPType type);",
+      {"KSPSetType chooses the algorithm. Calling it in code fixes the "
+       "type; most applications instead call KSPSetFromOptions and select "
+       "the method at runtime with -ksp_type gmres|cg|bcgs|..., which "
+       "keeps the choice flexible without recompiling. The type may be "
+       "changed between solves; data structures are rebuilt lazily."},
+      {"-ksp_type <type> : set the Krylov method from the options database"},
+      {"KSPSetFromOptions", "KSPGetType", "KSPSetPCSide"},
+      0.88,
+  });
+
+  add(ApiSpec{
+      "KSPSetOperators",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Sets the matrix that defines the linear system (Amat) and the matrix "
+      "from which the preconditioner is built (Pmat).",
+      "PetscErrorCode KSPSetOperators(KSP ksp, Mat Amat, Mat Pmat);",
+      {"Amat defines the operator applied in the Krylov iteration; Pmat is "
+       "the matrix the preconditioner is constructed from. They are often "
+       "the same matrix, but passing a different Pmat lets you build the "
+       "preconditioner from a simplified or lower-order discretization "
+       "while iterating with the true operator — a standard trick for "
+       "matrix-free Amat (MATSHELL) with an assembled Pmat.",
+       "Calling KSPSetOperators again with a modified matrix triggers a "
+       "preconditioner rebuild on the next solve unless "
+       "KSPSetReusePreconditioner was set."},
+      {},
+      {"KSPSolve", "KSPSetReusePreconditioner", "MATSHELL", "PCSetOperators"},
+      0.80,
+  });
+
+  add(ApiSpec{
+      "KSPSetFromOptions",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Configures the KSP (type, tolerances, monitors, PC, ...) from the "
+      "runtime options database.",
+      "PetscErrorCode KSPSetFromOptions(KSP ksp);",
+      {"KSPSetFromOptions reads the options database — populated from the "
+       "command line, environment, and option files — and applies every "
+       "-ksp_* and (through the attached PC) -pc_* setting. Call it once "
+       "after KSPSetOperators and before KSPSolve. This is the idiomatic "
+       "way to make solver choice, tolerances, and monitoring runtime-"
+       "configurable: -ksp_type, -ksp_rtol, -ksp_max_it, -ksp_monitor, "
+       "-pc_type, and hundreds more.",
+       "Options not consumed by any object are reported at exit when "
+       "-options_left is given, which catches misspelled options."},
+      {"-ksp_type <type>", "-ksp_rtol <rtol>", "-ksp_monitor",
+       "-pc_type <type>"},
+      {"KSPSetType", "KSPSetTolerances", "PetscOptionsSetValue"},
+      0.86,
+  });
+
+  add(ApiSpec{
+      "KSPSetTolerances",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Sets the relative, absolute, and divergence tolerances and the "
+      "maximum iteration count used by the default convergence test.",
+      "PetscErrorCode KSPSetTolerances(KSP ksp, PetscReal rtol, PetscReal "
+      "abstol, PetscReal dtol, PetscInt maxits);",
+      {"The defaults are rtol = 1e-5, abstol = 1e-50, dtol = 1e5, and "
+       "maxits = 10000. The default test declares convergence when the "
+       "(by default preconditioned) residual norm falls below "
+       "max(rtol * ||b||, abstol) and divergence when it exceeds dtol "
+       "times the initial residual. Pass PETSC_DEFAULT (PETSC_CURRENT) for "
+       "any parameter you do not want to change.",
+       "The same values are set at runtime with -ksp_rtol, -ksp_atol, "
+       "-ksp_divtol, and -ksp_max_it. For a custom stopping rule replace "
+       "the test with KSPSetConvergenceTest."},
+      {"-ksp_rtol <rtol> : relative decrease (default 1e-5)",
+       "-ksp_atol <abstol> : absolute residual norm (default 1e-50)",
+       "-ksp_divtol <dtol> : divergence threshold (default 1e5)",
+       "-ksp_max_it <maxits> : maximum iterations (default 10000)"},
+      {"KSPSetConvergenceTest", "KSPGetConvergedReason", "KSPSetNormType"},
+      0.82,
+  });
+
+  add(ApiSpec{
+      "KSPGetConvergedReason",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Returns the KSPConvergedReason explaining why the iteration stopped "
+      "(converged, diverged, or still iterating).",
+      "PetscErrorCode KSPGetConvergedReason(KSP ksp, KSPConvergedReason "
+      "*reason);",
+      {"Positive reasons mean convergence (KSP_CONVERGED_RTOL when the "
+       "relative tolerance was met, KSP_CONVERGED_ATOL for the absolute "
+       "tolerance, KSP_CONVERGED_ITS for KSPPREONLY's single application); "
+       "negative reasons mean failure: KSP_DIVERGED_ITS when the maximum "
+       "iterations were exhausted before the tolerance was met, "
+       "KSP_DIVERGED_DTOL when the residual grew by the divergence factor, "
+       "KSP_DIVERGED_PC_FAILED when the preconditioner setup broke down "
+       "(for example a zero pivot in ILU), and "
+       "KSP_DIVERGED_BREAKDOWN for a Krylov breakdown.",
+       "The quickest diagnostic is the runtime option "
+       "-ksp_converged_reason, which prints the reason (and with "
+       "::failed, only failures) after each solve. KSP_DIVERGED_ITS "
+       "usually indicates a preconditioner too weak for the problem or a "
+       "max iteration count set too low."},
+      {"-ksp_converged_reason : print the reason each solve stops"},
+      {"KSPSolve", "KSPSetTolerances", "KSPConvergedReasonView"},
+      0.66,
+  });
+
+  add(ApiSpec{
+      "KSPGetIterationNumber",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Returns the number of iterations the most recent KSPSolve used (or "
+      "the current count during a solve).",
+      "PetscErrorCode KSPGetIterationNumber(KSP ksp, PetscInt *its);",
+      {"After KSPSolve completes, KSPGetIterationNumber reports how many "
+       "iterations were taken; during a solve (e.g. inside a monitor or "
+       "convergence test callback) it reports the current iteration. The "
+       "count is also printed by -ksp_converged_reason and by the "
+       "monitors."},
+      {},
+      {"KSPGetResidualNorm", "KSPGetConvergedReason", "KSPMonitorSet"},
+      0.58,
+  });
+
+  add(ApiSpec{
+      "KSPGetResidualNorm",
+      ApiKind::Function,
+      ApiLevel::Intermediate,
+      "Returns the last computed residual norm of the iteration.",
+      "PetscErrorCode KSPGetResidualNorm(KSP ksp, PetscReal *rnorm);",
+      {"The value is the norm the method itself tracks — by default the "
+       "preconditioned residual norm for left-preconditioned methods like "
+       "GMRES, and the true residual norm for right preconditioning. To "
+       "compare solvers on equal footing, monitor the true residual with "
+       "-ksp_monitor_true_residual or change the norm with "
+       "KSPSetNormType."},
+      {},
+      {"KSPGetIterationNumber", "KSPSetNormType", "KSPMonitorSet"},
+      0.45,
+  });
+
+  add(ApiSpec{
+      "KSPMonitorSet",
+      ApiKind::Function,
+      ApiLevel::Intermediate,
+      "Attaches a user callback invoked at every iteration with the current "
+      "iteration number and residual norm.",
+      "PetscErrorCode KSPMonitorSet(KSP ksp, PetscErrorCode (*monitor)(KSP, "
+      "PetscInt, PetscReal, void*), void *ctx, PetscErrorCode "
+      "(*destroy)(void**));",
+      {"Monitors observe the iteration: the callback receives the KSP, the "
+       "iteration number, and the residual norm tracked by the method. "
+       "Multiple monitors may be attached; they run in the order set. The "
+       "built-in monitors are available without code through the options "
+       "database: -ksp_monitor (preconditioned norm), "
+       "-ksp_monitor_true_residual (both preconditioned and true norms), "
+       "and -ksp_monitor_singular_value.",
+       "A monitor must not modify the solve state; to implement a custom "
+       "stopping rule use KSPSetConvergenceTest instead."},
+      {"-ksp_monitor : print the residual norm each iteration",
+       "-ksp_monitor_true_residual : also print the true (unpreconditioned) "
+       "residual norm",
+       "-ksp_monitor_cancel : remove all hardwired monitors"},
+      {"KSPSetConvergenceTest", "KSPGetResidualNorm"},
+      0.52,
+  });
+
+  add(ApiSpec{
+      "KSPSetConvergenceTest",
+      ApiKind::Function,
+      ApiLevel::Advanced,
+      "Replaces the default convergence test with a user-defined stopping "
+      "criterion.",
+      "PetscErrorCode KSPSetConvergenceTest(KSP ksp, PetscErrorCode "
+      "(*converge)(KSP, PetscInt, PetscReal, KSPConvergedReason*, void*), "
+      "void *ctx, PetscErrorCode (*destroy)(void**));",
+      {"The callback is invoked each iteration with the iteration number "
+       "and residual norm and sets a KSPConvergedReason: zero to continue, "
+       "positive to declare convergence, negative to abort as diverged. "
+       "This is the supported way to stop the solve early on a custom "
+       "criterion (e.g. an application energy norm or a wall-clock "
+       "budget). The default test is KSPConvergedDefault, which applies "
+       "the rtol/abstol/dtol logic of KSPSetTolerances.",
+       "Monitors (KSPMonitorSet) observe but cannot stop the iteration; "
+       "convergence tests decide."},
+      {},
+      {"KSPSetTolerances", "KSPMonitorSet", "KSPGetConvergedReason"},
+      0.24,
+  });
+
+  add(ApiSpec{
+      "KSPSetInitialGuessNonzero",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Tells the solver to use the entries of the solution vector as the "
+      "initial guess instead of zero.",
+      "PetscErrorCode KSPSetInitialGuessNonzero(KSP ksp, PetscBool flg);",
+      {"By default KSPSolve zeroes the solution vector and starts from "
+       "x0 = 0. With KSPSetInitialGuessNonzero(ksp, PETSC_TRUE) — or "
+       "-ksp_initial_guess_nonzero at runtime — the incoming contents of "
+       "x are used as the starting point, which is valuable in "
+       "time-stepping and nonlinear iterations where the previous solution "
+       "is an excellent guess.",
+       "KSPPREONLY ignores the initial guess entirely (it requires a zero "
+       "guess)."},
+      {"-ksp_initial_guess_nonzero <true,false> : use x's contents as the "
+       "start"},
+      {"KSPSolve", "KSPSetReusePreconditioner"},
+      0.47,
+  });
+
+  add(ApiSpec{
+      "KSPSetReusePreconditioner",
+      ApiKind::Function,
+      ApiLevel::Intermediate,
+      "Keeps using the existing preconditioner even when the matrix "
+      "changes.",
+      "PetscErrorCode KSPSetReusePreconditioner(KSP ksp, PetscBool flag);",
+      {"Normally a change to the operators triggers a preconditioner "
+       "rebuild at the next KSPSolve. With reuse enabled (also "
+       "-ksp_reuse_preconditioner) the old preconditioner is kept — a "
+       "large saving when the matrix changes slowly (e.g. lagged Jacobians "
+       "in Newton or quasi-static time stepping) and the stale "
+       "preconditioner is still effective. Expect more Krylov iterations "
+       "in exchange for skipping the setup cost.",
+       "Re-enable rebuilding by calling the function with PETSC_FALSE."},
+      {"-ksp_reuse_preconditioner <true,false>"},
+      {"KSPSetOperators", "KSPSolve", "PCSetReusePreconditioner"},
+      0.26,
+  });
+
+  add(ApiSpec{
+      "KSPSetPCSide",
+      ApiKind::Function,
+      ApiLevel::Intermediate,
+      "Chooses left, right, or symmetric application of the preconditioner.",
+      "PetscErrorCode KSPSetPCSide(KSP ksp, PCSide side);",
+      {"With left preconditioning the method iterates on B A x = B b and "
+       "its residual norm is the preconditioned one; with right "
+       "preconditioning it iterates on A B y = b (x = B y) and the norm "
+       "is the true residual. GMRES defaults to left; FGMRES and GCR "
+       "require right. Set at runtime with -ksp_pc_side left|right|"
+       "symmetric. Right preconditioning is preferred when the stopping "
+       "criterion should reflect the true residual.",
+       "Not every combination is supported: each KSP type advertises the "
+       "sides it implements."},
+      {"-ksp_pc_side <left,right,symmetric>"},
+      {"KSPSetNormType", "KSPGMRES", "KSPFGMRES"},
+      0.30,
+  });
+
+  add(ApiSpec{
+      "KSPSetNormType",
+      ApiKind::Function,
+      ApiLevel::Advanced,
+      "Selects which norm the convergence test monitors: preconditioned, "
+      "unpreconditioned, natural, or none.",
+      "PetscErrorCode KSPSetNormType(KSP ksp, KSPNormType normtype);",
+      {"KSP_NORM_PRECONDITIONED (GMRES's default with left "
+       "preconditioning) tests ||B(b - Ax)||; KSP_NORM_UNPRECONDITIONED "
+       "(-ksp_norm_type unpreconditioned) tests the true residual "
+       "||b - Ax||; KSP_NORM_NATURAL applies to CG-like methods; "
+       "KSP_NORM_NONE skips norm computation entirely, saving a reduction "
+       "per iteration — useful for fixed-iteration smoothers.",
+       "Changing the norm type can change which side of preconditioning "
+       "is usable; the two settings interact (see KSPSetPCSide)."},
+      {"-ksp_norm_type <preconditioned,unpreconditioned,natural,none>"},
+      {"KSPSetPCSide", "KSPSetTolerances", "KSPMonitorSet"},
+      0.22,
+  });
+
+  add(ApiSpec{
+      "KSPGetPC",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Returns the preconditioner (PC) context attached to a KSP.",
+      "PetscErrorCode KSPGetPC(KSP ksp, PC *pc);",
+      {"Every KSP owns a PC. KSPGetPC retrieves it so the application can "
+       "call PCSetType and other PC routines directly: KSPGetPC(ksp,&pc); "
+       "PCSetType(pc,PCJACOBI);. The PC is configured from the options "
+       "database by the -pc_* options when KSPSetFromOptions runs."},
+      {},
+      {"PCSetType", "KSPSetFromOptions"},
+      0.68,
+  });
+
+  add(ApiSpec{
+      "PCSetType",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Sets the preconditioner method (PCType), e.g. PCJACOBI or PCILU.",
+      "PetscErrorCode PCSetType(PC pc, PCType type);",
+      {"PCSetType chooses the preconditioning algorithm. As with the KSP "
+       "type, the runtime route is more common: -pc_type jacobi|ilu|lu|"
+       "gamg|... applied by KSPSetFromOptions / PCSetFromOptions. The "
+       "default PC is PCILU for one process and PCBJACOBI (with ILU(0) "
+       "inside each block) for parallel runs."},
+      {"-pc_type <type> : set the preconditioner from the options database"},
+      {"KSPGetPC", "PCJACOBI", "PCILU", "PCBJACOBI"},
+      0.84,
+  });
+
+  add(ApiSpec{
+      "MatSetNullSpace",
+      ApiKind::Function,
+      ApiLevel::Advanced,
+      "Attaches the null space of a singular matrix so Krylov methods can "
+      "solve the consistent singular system.",
+      "PetscErrorCode MatSetNullSpace(Mat mat, MatNullSpace nullsp);",
+      {"Singular but consistent systems — the pressure Poisson equation "
+       "with pure Neumann boundary conditions is the canonical example, "
+       "whose null space is the constant vector — are handled by creating "
+       "a MatNullSpace (MatNullSpaceCreate, often with the has_cnst flag) "
+       "and attaching it with MatSetNullSpace. The KSP then projects the "
+       "null space out of the residual each iteration, keeping the "
+       "iterates in the orthogonal complement where the solution is "
+       "unique.",
+       "Direct factorizations (PCLU) will still fail on a singular "
+       "matrix; use an iterative method, or pin a degree of freedom. Use "
+       "MatSetTransposeNullSpace when the right-hand side must be "
+       "projected for consistency."},
+      {},
+      {"MatNullSpaceCreate", "KSPSolve", "PCGAMG"},
+      0.20,
+  });
+
+  add(ApiSpec{
+      "MatSetNearNullSpace",
+      ApiKind::Function,
+      ApiLevel::Advanced,
+      "Attaches the near-null space (e.g. rigid body modes) used by "
+      "algebraic multigrid to build good coarse spaces.",
+      "PetscErrorCode MatSetNearNullSpace(Mat mat, MatNullSpace nullsp);",
+      {"Algebraic multigrid (PCGAMG) interpolates well only if the coarse "
+       "spaces capture the low-energy modes of the operator. For "
+       "elasticity these are the rigid body modes; construct them with "
+       "MatNullSpaceCreateRigidBody from the nodal coordinates and attach "
+       "with MatSetNearNullSpace before PCSetUp."},
+      {},
+      {"PCGAMG", "MatSetNullSpace", "MatNullSpaceCreateRigidBody"},
+      0.12,
+  });
+
+  add(ApiSpec{
+      "MatCreate",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Creates an empty matrix object whose type and sizes are set later.",
+      "PetscErrorCode MatCreate(MPI_Comm comm, Mat *A);",
+      {"MatCreate is the generic constructor: follow with MatSetSizes, "
+       "MatSetType (or MatSetFromOptions), preallocation, MatSetValues "
+       "calls, and the MatAssemblyBegin/MatAssemblyEnd pair. The default "
+       "type is MATAIJ (compressed sparse row), sequential or MPI "
+       "depending on the communicator size."},
+      {},
+      {"MatSetValues", "MatAssemblyBegin", "MatAssemblyEnd", "MATAIJ"},
+      0.83,
+  });
+
+  add(ApiSpec{
+      "MatSetValues",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Inserts or adds a logically dense block of values into a matrix.",
+      "PetscErrorCode MatSetValues(Mat mat, PetscInt m, const PetscInt "
+      "idxm[], PetscInt n, const PetscInt idxn[], const PetscScalar v[], "
+      "InsertMode addv);",
+      {"Values are cached and become usable only after the matrix is "
+       "assembled with MatAssemblyBegin/MatAssemblyEnd. INSERT_VALUES and "
+       "ADD_VALUES modes cannot be mixed without an intervening assembly. "
+       "Performance depends critically on correct preallocation: without "
+       "it every insertion that outgrows the allocated nonzeros triggers "
+       "an expensive reallocation and copy.",
+       "Check preallocation success at runtime with the -info option, "
+       "which reports how many mallocs occurred during assembly; the goal "
+       "is zero."},
+      {"-info : print informative output including preallocation "
+       "diagnostics",
+       "-mat_view ::ascii_info : summary of matrix data"},
+      {"MatAssemblyBegin", "MatAssemblyEnd", "MatXAIJSetPreallocation"},
+      0.76,
+  });
+
+  add(ApiSpec{
+      "MatAssemblyBegin",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Begins assembling the matrix; with MatAssemblyEnd it migrates and "
+      "finalizes all cached MatSetValues entries.",
+      "PetscErrorCode MatAssemblyBegin(Mat mat, MatAssemblyType type);",
+      {"Assembly moves off-process values to their owners and builds the "
+       "final storage. Use MAT_FINAL_ASSEMBLY before using the matrix and "
+       "MAT_FLUSH_ASSEMBLY between switching insert/add modes. The "
+       "begin/end split lets applications overlap computation with the "
+       "communication."},
+      {},
+      {"MatAssemblyEnd", "MatSetValues"},
+      0.62,
+  });
+
+  add(ApiSpec{
+      "MatMult",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Computes the matrix-vector product y = A x.",
+      "PetscErrorCode MatMult(Mat mat, Vec x, Vec y);",
+      {"The workhorse of every Krylov iteration. x and y must be distinct "
+       "vectors. For matrix-free operators, provide a MATSHELL whose "
+       "MatMult callback applies the action of the operator; every KSP "
+       "only ever needs the action, never the entries — though most "
+       "preconditioners do need entries (see KSPSetOperators's Amat/Pmat "
+       "distinction)."},
+      {},
+      {"MatMultTranspose", "MATSHELL", "KSPSetOperators"},
+      0.74,
+  });
+
+  add(ApiSpec{
+      "VecCreate",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Creates an empty vector object whose type and size are set later.",
+      "PetscErrorCode VecCreate(MPI_Comm comm, Vec *vec);",
+      {"Follow with VecSetSizes and VecSetType (or VecSetFromOptions); or "
+       "use the convenience creators VecCreateSeq / VecCreateMPI. Vectors "
+       "obtained from a matrix with MatCreateVecs are guaranteed layout-"
+       "compatible with that matrix — the recommended way to get solution "
+       "and right-hand-side vectors for KSPSolve."},
+      {},
+      {"VecSet", "VecAXPY", "MatCreateVecs"},
+      0.79,
+  });
+
+  add(ApiSpec{
+      "VecSet",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Sets every entry of a vector to a single scalar value.",
+      "PetscErrorCode VecSet(Vec x, PetscScalar alpha);",
+      {"VecSet(x, 0.0) is the idiomatic zeroing call. It may not be used "
+       "on a vector that has unassembled VecSetValues insertions "
+       "pending."},
+      {},
+      {"VecSetValues", "VecAXPY"},
+      0.61,
+  });
+
+  add(ApiSpec{
+      "VecAXPY",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Computes y = alpha x + y.",
+      "PetscErrorCode VecAXPY(Vec y, PetscScalar alpha, Vec x);",
+      {"The BLAS-1 update at the heart of Krylov recurrences. The vectors "
+       "must have identical layouts; x and y must differ. Related "
+       "variants: VecAYPX (y = x + alpha y), VecWAXPY (w = alpha x + y), "
+       "and VecMAXPY for multiple simultaneous updates."},
+      {},
+      {"VecAYPX", "VecWAXPY", "VecNorm"},
+      0.57,
+  });
+
+  add(ApiSpec{
+      "VecNorm",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Computes a vector norm (NORM_2, NORM_1, or NORM_INFINITY).",
+      "PetscErrorCode VecNorm(Vec x, NormType type, PetscReal *val);",
+      {"In parallel, VecNorm requires a global reduction "
+       "(MPI_Allreduce), which is why norm and inner-product counts are "
+       "the communication bottleneck of Krylov methods at scale — the "
+       "motivation for pipelined variants like KSPPIPECG and for "
+       "KSP_NORM_NONE smoothers."},
+      {},
+      {"VecDot", "KSPSetNormType"},
+      0.54,
+  });
+
+  add(ApiSpec{
+      "PetscInitialize",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Initializes PETSc, MPI (if not already initialized), and the options "
+      "database; must be the first PETSc call.",
+      "PetscErrorCode PetscInitialize(int *argc, char ***args, const char "
+      "file[], const char help[]);",
+      {"PetscInitialize parses the command line into the options database "
+       "(making every -ksp_*, -pc_*, -info, -log_view option available), "
+       "optionally reads an options file, and sets up error handling. "
+       "Pair with PetscFinalize, after which no PETSc routine may be "
+       "called. Programs that already initialized MPI keep ownership of "
+       "it."},
+      {"-options_file <file> : read options from a file",
+       "-help : list available options for each object as it is configured"},
+      {"PetscFinalize", "KSPSetFromOptions"},
+      0.81,
+  });
+
+  add(ApiSpec{
+      "PetscFinalize",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Finalizes PETSc: frees internal state, prints requested summaries, "
+      "and finalizes MPI if PETSc initialized it.",
+      "PetscErrorCode PetscFinalize(void);",
+      {"PetscFinalize emits the outputs requested by options such as "
+       "-log_view (performance summary) and -options_left (options that "
+       "were set but never queried — the standard way to catch misspelled "
+       "option names). Destroy all PETSc objects before calling it, or "
+       "enable -objects_dump to list leaked objects."},
+      {"-options_left : warn about unused options at exit",
+       "-log_view : print the performance log at exit"},
+      {"PetscInitialize"},
+      0.73,
+  });
+
+  return specs;
+}
+
+}  // namespace pkb::corpus::detail

@@ -1,0 +1,21 @@
+#pragma once
+// Internal: the spec table is assembled from per-category builders so each
+// translation unit stays reviewable. Not part of the public API.
+
+#include <vector>
+
+#include "corpus/api_spec.h"
+
+namespace pkb::corpus::detail {
+
+[[nodiscard]] std::vector<ApiSpec> ksp_type_specs();
+[[nodiscard]] std::vector<ApiSpec> pc_type_specs();
+[[nodiscard]] std::vector<ApiSpec> function_specs();
+[[nodiscard]] std::vector<ApiSpec> option_specs();
+[[nodiscard]] std::vector<ApiSpec> concept_specs();
+/// The wider library surface (SNES, TS, DM, more Mat/Vec/Sys): the paper's
+/// corpus is the whole PETSc documentation, of which Krylov solvers are one
+/// subtopic — these pages are the realistic retrieval competition.
+[[nodiscard]] std::vector<ApiSpec> outer_library_specs();
+
+}  // namespace pkb::corpus::detail

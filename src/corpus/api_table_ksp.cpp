@@ -1,0 +1,507 @@
+// KSP (Krylov subspace solver) type specifications.
+//
+// Content reflects real public PETSc semantics: algorithm family, matrix
+// requirements, defaults, and characteristic options. The first note
+// paragraph of each spec carries the decisive facts used by the evaluation
+// rubric.
+#include "corpus/api_table_detail.h"
+
+namespace pkb::corpus::detail {
+
+std::vector<ApiSpec> ksp_type_specs() {
+  std::vector<ApiSpec> specs;
+  auto add = [&specs](ApiSpec spec) { specs.push_back(std::move(spec)); };
+
+  add(ApiSpec{
+      "KSPGMRES",
+      ApiKind::SolverType,
+      ApiLevel::Beginner,
+      "Implements the Generalized Minimal RESidual (GMRES) method for "
+      "solving linear systems with a square, possibly nonsymmetric matrix.",
+      "KSPSetType(ksp, KSPGMRES);",
+      {"GMRES builds an orthogonal basis of the Krylov subspace using "
+       "modified Gram-Schmidt orthogonalization and minimizes the "
+       "preconditioned residual norm over that subspace. It is the default "
+       "KSP type in PETSc. The method restarts every 30 iterations by "
+       "default to bound memory; the restart length can be changed with "
+       "-ksp_gmres_restart or KSPGMRESSetRestart().",
+       "Each iteration stores one additional basis vector, so memory grows "
+       "linearly with the restart length. A restart that is too small can "
+       "stagnate convergence; a restart that is too large costs memory and "
+       "orthogonalization time.",
+       "GMRES works for any nonsingular square matrix and is the most robust "
+       "general-purpose choice when the matrix is nonsymmetric. By default "
+       "it uses left preconditioning and minimizes the preconditioned "
+       "residual norm; use KSPSetPCSide() or -ksp_pc_side right for right "
+       "preconditioning, which minimizes the true residual norm."},
+      {"-ksp_gmres_restart <n> : restart length (default 30)",
+       "-ksp_gmres_cgs_refinement_type <never,ifneeded,always> : classical "
+       "Gram-Schmidt refinement",
+       "-ksp_gmres_preallocate : preallocate all Krylov vectors up front"},
+      {"KSPFGMRES", "KSPLGMRES", "KSPBCGS", "KSPSetPCSide",
+       "KSPGMRESSetRestart"},
+      0.95,
+  });
+
+  add(ApiSpec{
+      "KSPCG",
+      ApiKind::SolverType,
+      ApiLevel::Beginner,
+      "Implements the Preconditioned Conjugate Gradient (PCG) method, the "
+      "Krylov method of choice for symmetric positive definite (SPD) "
+      "matrices.",
+      "KSPSetType(ksp, KSPCG);",
+      {"The conjugate gradient method requires a symmetric (Hermitian in the "
+       "complex case) positive definite matrix and a symmetric positive "
+       "definite preconditioner. For symmetric positive definite systems it "
+       "converges in exact arithmetic in at most n steps and uses only "
+       "short recurrences, so memory per iteration is constant.",
+       "If the matrix is only symmetric but indefinite, CG can break down; "
+       "use KSPMINRES or KSPSYMMLQ instead. If the matrix is nonsymmetric, "
+       "use KSPGMRES or KSPBCGS.",
+       "Use KSPCGSetType(ksp, KSP_CG_SYMMETRIC) (the default) for symmetric "
+       "matrices and KSP_CG_HERMITIAN for complex Hermitian matrices. The "
+       "option -ksp_cg_single_reduction merges the two inner products per "
+       "iteration into one reduction to reduce communication latency."},
+      {"-ksp_cg_type <symmetric,hermitian> : matrix symmetry variant",
+       "-ksp_cg_single_reduction : combine the two inner products into one "
+       "MPI reduction"},
+      {"KSPMINRES", "KSPSYMMLQ", "KSPPIPECG", "KSPCGNE"},
+      0.93,
+  });
+
+  add(ApiSpec{
+      "KSPLSQR",
+      ApiKind::SolverType,
+      ApiLevel::Intermediate,
+      "Implements the LSQR method for solving least squares problems; the "
+      "pivotal KSP solver for rectangular (non-square) matrices.",
+      "KSPSetType(ksp, KSPLSQR);",
+      {"KSPLSQR does not require the matrix to be square: the matrix may be "
+       "rectangular, arising from overdetermined or underdetermined least "
+       "squares problems min ||b - A x||_2. It is algebraically equivalent "
+       "to applying conjugate gradient to the normal equations A^T A x = "
+       "A^T b, but is numerically more stable because it never forms A^T A "
+       "explicitly.",
+       "The preconditioner must be designed for the normal-equations "
+       "operator; by default the preconditioner is applied to A^T A "
+       "implicitly. With no preconditioner (-pc_type none) LSQR reduces to "
+       "the classical Golub-Kahan bidiagonalization algorithm.",
+       "The matrix need not be invertible in the usual sense: for "
+       "rank-deficient problems LSQR converges to the minimum-norm least "
+       "squares solution. Monitor the normal-equation residual with "
+       "-ksp_lsqr_monitor."},
+      {"-ksp_lsqr_set_standard_error : compute standard error estimates",
+       "-ksp_lsqr_monitor : monitor the residual of the normal equations",
+       "-ksp_lsqr_exact_mat_norm : use the exact matrix norm in stopping "
+       "tests"},
+      {"KSPCGNE", "KSPCGLS", "MatCreateNormal", "KSPSolve"},
+      0.22,
+  });
+
+  add(ApiSpec{
+      "KSPFGMRES",
+      ApiKind::SolverType,
+      ApiLevel::Intermediate,
+      "Implements Flexible GMRES (FGMRES), which tolerates a preconditioner "
+      "that changes from iteration to iteration.",
+      "KSPSetType(ksp, KSPFGMRES);",
+      {"FGMRES allows the preconditioner to vary at each iteration, for "
+       "example when the preconditioner is itself an iterative solve (an "
+       "inner KSP inside PCKSP, or a multigrid cycle whose smoothers adapt). "
+       "It always uses right preconditioning and therefore minimizes the "
+       "true residual norm.",
+       "FGMRES stores two sets of basis vectors, so it needs twice the "
+       "memory of GMRES for the same restart length (default restart 30).",
+       "If the preconditioner is a fixed linear operator, plain KSPGMRES is "
+       "cheaper. KSPGCR is an alternative flexible method that also permits "
+       "variable preconditioning with right preconditioning."},
+      {"-ksp_gmres_restart <n> : restart length (shared with GMRES, default "
+       "30)"},
+      {"KSPGMRES", "KSPGCR", "PCKSP"},
+      0.45,
+  });
+
+  add(ApiSpec{
+      "KSPBCGS",
+      ApiKind::SolverType,
+      ApiLevel::Beginner,
+      "Implements the stabilized BiConjugate Gradient (BiCGStab) method for "
+      "nonsymmetric systems with constant memory per iteration.",
+      "KSPSetType(ksp, KSPBCGS);",
+      {"BiCGStab uses short recurrences, so unlike restarted GMRES its "
+       "memory use does not grow with the iteration count — a good choice "
+       "for nonsymmetric systems when memory is limited. Convergence can be "
+       "more erratic than GMRES and the method can break down, in which "
+       "case KSPBCGSL (with its ell parameter) adds robustness.",
+       "Each iteration requires two matrix-vector products and two "
+       "preconditioner applications, versus one of each for GMRES, so "
+       "per-iteration cost is roughly double.",
+       "Variants include KSPIBCGS (improved stabilized version with fewer "
+       "synchronizations) and KSPFBCGS (flexible variant)."},
+      {"-ksp_type bcgs : select this solver at runtime"},
+      {"KSPBCGSL", "KSPIBCGS", "KSPFBCGS", "KSPCGS", "KSPTFQMR"},
+      0.72,
+  });
+
+  add(ApiSpec{
+      "KSPBCGSL",
+      ApiKind::SolverType,
+      ApiLevel::Advanced,
+      "Implements BiCGStab(ell), a variant of BiCGStab with an ell-"
+      "dimensional minimization step for improved robustness.",
+      "KSPSetType(ksp, KSPBCGSL);",
+      {"BiCGStab(ell) generalizes BiCGStab by performing a minimal residual "
+       "step over an ell-dimensional subspace every cycle; the default ell "
+       "is 2 and it can be changed with -ksp_bcgsl_ell or KSPBCGSLSetEll(). "
+       "Larger ell improves robustness on matrices with complex eigenvalue "
+       "spectra at the cost of more work per cycle.",
+       "BiCGStab(1) is equivalent to ordinary BiCGStab. Values of ell above "
+       "4 rarely pay off."},
+      {"-ksp_bcgsl_ell <ell> : subspace dimension (default 2)",
+       "-ksp_bcgsl_cxpoly : use enhanced polynomial convergence"},
+      {"KSPBCGS", "KSPIBCGS"},
+      0.18,
+  });
+
+  add(ApiSpec{
+      "KSPRICHARDSON",
+      ApiKind::SolverType,
+      ApiLevel::Beginner,
+      "Implements the preconditioned Richardson iteration x^{k+1} = x^k + "
+      "scale * B (b - A x^k).",
+      "KSPSetType(ksp, KSPRICHARDSON);",
+      {"Richardson is the simplest iteration: apply the preconditioner to "
+       "the residual and add a damped correction. The damping factor "
+       "(scale) defaults to 1.0 and is set with KSPRichardsonSetScale() or "
+       "-ksp_richardson_scale. With -ksp_richardson_self_scale the scale is "
+       "computed automatically each iteration.",
+       "Richardson with a strong preconditioner (for example multigrid) is "
+       "a common outer iteration; with scale 1.0 and one iteration it "
+       "reduces to applying the preconditioner once. It is also the "
+       "standard smoother wrapper inside PCMG."},
+      {"-ksp_richardson_scale <scale> : damping factor (default 1.0)",
+       "-ksp_richardson_self_scale : dynamically compute the optimal scale"},
+      {"KSPCHEBYSHEV", "KSPPREONLY", "PCMG"},
+      0.40,
+  });
+
+  add(ApiSpec{
+      "KSPCHEBYSHEV",
+      ApiKind::SolverType,
+      ApiLevel::Intermediate,
+      "Implements the Chebyshev semi-iterative method, which needs estimates "
+      "of the extreme eigenvalues of the preconditioned operator.",
+      "KSPSetType(ksp, KSPCHEBYSHEV);",
+      {"Chebyshev iteration requires bounds on the spectrum of the "
+       "preconditioned matrix, supplied with KSPChebyshevSetEigenvalues() "
+       "or estimated automatically via -ksp_chebyshev_esteig, which runs a "
+       "few GMRES iterations to estimate the extreme eigenvalues. Because "
+       "it uses no inner products, every iteration is reduction-free, which "
+       "is why it is the preferred smoother inside multigrid (PCMG, PCGAMG) "
+       "on parallel machines.",
+       "With poor eigenvalue estimates Chebyshev can diverge; it is not a "
+       "general-purpose black-box solver. It assumes the preconditioned "
+       "operator has a real positive spectrum."},
+      {"-ksp_chebyshev_eigenvalues <emin,emax> : spectrum bounds",
+       "-ksp_chebyshev_esteig <a,b,c,d> : automatic eigenvalue estimation "
+       "transform"},
+      {"KSPRICHARDSON", "PCMG", "PCGAMG"},
+      0.35,
+  });
+
+  add(ApiSpec{
+      "KSPPREONLY",
+      ApiKind::SolverType,
+      ApiLevel::Beginner,
+      "Applies ONLY the preconditioner exactly once; no Krylov iteration is "
+      "performed. Used to run direct solvers under the KSP interface.",
+      "KSPSetType(ksp, KSPPREONLY);",
+      {"KSPPREONLY applies the preconditioner a single time and returns. "
+       "Combined with PCLU or PCCHOLESKY it turns the KSP into a direct "
+       "solver: -ksp_type preonly -pc_type lu. It is also the default KSP "
+       "on the coarse grid of multigrid hierarchies and inside block "
+       "preconditioners such as PCBJACOBI subdomain solves.",
+       "The initial guess must be zero for KSPPREONLY (it does not compute "
+       "a residual); the alias KSPNONE refers to the same method. No "
+       "convergence test is applied."},
+      {"-ksp_type preonly : select; commonly paired with -pc_type lu"},
+      {"PCLU", "PCCHOLESKY", "KSPRICHARDSON"},
+      0.60,
+  });
+
+  add(ApiSpec{
+      "KSPMINRES",
+      ApiKind::SolverType,
+      ApiLevel::Intermediate,
+      "Implements the MINRES method for symmetric (possibly indefinite) "
+      "matrices.",
+      "KSPSetType(ksp, KSPMINRES);",
+      {"MINRES solves symmetric indefinite systems — where CG is not "
+       "applicable because it requires positive definiteness — by "
+       "minimizing the residual norm over the Krylov subspace with short "
+       "recurrences. The preconditioner must be symmetric positive "
+       "definite even though the matrix may be indefinite.",
+       "For symmetric indefinite saddle-point systems (for example Stokes "
+       "problems), MINRES with a block-diagonal SPD preconditioner is the "
+       "standard choice. KSPSYMMLQ solves the same class of problems but "
+       "minimizes a different error quantity and is typically less used."},
+      {"-ksp_type minres : select this solver at runtime"},
+      {"KSPCG", "KSPSYMMLQ", "PCFIELDSPLIT"},
+      0.33,
+  });
+
+  add(ApiSpec{
+      "KSPSYMMLQ",
+      ApiKind::SolverType,
+      ApiLevel::Advanced,
+      "Implements SYMMLQ for symmetric (possibly indefinite) matrices.",
+      "KSPSetType(ksp, KSPSYMMLQ);",
+      {"SYMMLQ, like MINRES, handles symmetric indefinite matrices with a "
+       "symmetric positive definite preconditioner. It minimizes the error "
+       "in a norm associated with the LQ factorization rather than the "
+       "residual norm; MINRES is usually preferred when a residual-based "
+       "stopping criterion is wanted."},
+      {"-ksp_type symmlq : select this solver at runtime"},
+      {"KSPMINRES", "KSPCG"},
+      0.15,
+  });
+
+  add(ApiSpec{
+      "KSPTFQMR",
+      ApiKind::SolverType,
+      ApiLevel::Intermediate,
+      "Implements the Transpose-Free Quasi-Minimal Residual (TFQMR) method "
+      "for nonsymmetric systems.",
+      "KSPSetType(ksp, KSPTFQMR);",
+      {"TFQMR is a transpose-free method derived from CGS that "
+       "quasi-minimizes the residual, producing much smoother convergence "
+       "curves than BiCGStab or CGS while using short recurrences and no "
+       "multiplication with the transpose of the matrix. It is preferred "
+       "over KSPBCGS when BiCGStab's erratic residual history causes "
+       "premature stagnation or misleading monitors.",
+       "Like all short-recurrence nonsymmetric methods it can break down; "
+       "GMRES remains the most robust (but memory-hungry) fallback."},
+      {"-ksp_type tfqmr : select this solver at runtime"},
+      {"KSPCGS", "KSPBCGS", "KSPGMRES"},
+      0.20,
+  });
+
+  add(ApiSpec{
+      "KSPCGS",
+      ApiKind::SolverType,
+      ApiLevel::Advanced,
+      "Implements the Conjugate Gradient Squared method.",
+      "KSPSetType(ksp, KSPCGS);",
+      {"CGS squares the CG polynomial of BiCG, which can double the "
+       "convergence rate but also amplifies irregular convergence and "
+       "rounding errors. TFQMR and BiCGStab were designed as smoother "
+       "alternatives; CGS is rarely the best choice today."},
+      {"-ksp_type cgs : select this solver at runtime"},
+      {"KSPTFQMR", "KSPBCGS", "KSPBICG"},
+      0.14,
+  });
+
+  add(ApiSpec{
+      "KSPBICG",
+      ApiKind::SolverType,
+      ApiLevel::Advanced,
+      "Implements the BiConjugate Gradient method, which requires "
+      "multiplication with both the matrix and its transpose.",
+      "KSPSetType(ksp, KSPBICG);",
+      {"BiCG extends CG to nonsymmetric matrices using a two-sided Lanczos "
+       "process. Each iteration applies both A and A^T (via MatMultTranspose)"
+       ", so the matrix type must support transpose products; matrix-free "
+       "operators often do not. Transpose-free descendants (CGS, BiCGStab, "
+       "TFQMR) avoid this requirement and are usually preferred."},
+      {"-ksp_type bicg : select this solver at runtime"},
+      {"KSPBCGS", "KSPCGS", "MatMultTranspose"},
+      0.17,
+  });
+
+  add(ApiSpec{
+      "KSPCGNE",
+      ApiKind::SolverType,
+      ApiLevel::Advanced,
+      "Applies the conjugate gradient method to the normal equations "
+      "A^T A x = A^T b without explicitly forming A^T A.",
+      "KSPSetType(ksp, KSPCGNE);",
+      {"KSPCGNE runs CG on the normal equations, squaring the condition "
+       "number of the original matrix — convergence can therefore be very "
+       "slow and the attainable accuracy is limited. For least squares "
+       "problems KSPLSQR is the numerically preferred method; KSPCGNE is "
+       "mainly useful when A is square and nonsymmetric but a CG-style "
+       "short recurrence is required.",
+       "The matrix must support MatMultTranspose. The preconditioner acts "
+       "on the normal-equations operator."},
+      {"-ksp_type cgne : select this solver at runtime"},
+      {"KSPLSQR", "KSPCG", "MatCreateNormal"},
+      0.12,
+  });
+
+  add(ApiSpec{
+      "KSPGCR",
+      ApiKind::SolverType,
+      ApiLevel::Advanced,
+      "Implements the preconditioned Generalized Conjugate Residual method "
+      "with support for variable (flexible) preconditioning.",
+      "KSPSetType(ksp, KSPGCR);",
+      {"GCR minimizes the true residual like GMRES with right "
+       "preconditioning, and — like FGMRES — tolerates a preconditioner "
+       "that changes every iteration. Unlike FGMRES, the solution and "
+       "residual are available at every iteration without extra work, which "
+       "makes user-defined stopping tests cheap. Memory grows with the "
+       "restart length (-ksp_gcr_restart, default 30).",
+       "GCR only supports right preconditioning. When the preconditioner "
+       "is fixed, GMRES is slightly cheaper per iteration."},
+      {"-ksp_gcr_restart <n> : restart length (default 30)"},
+      {"KSPFGMRES", "KSPGMRES"},
+      0.16,
+  });
+
+  add(ApiSpec{
+      "KSPLGMRES",
+      ApiKind::SolverType,
+      ApiLevel::Advanced,
+      "Implements LGMRES, which augments the restarted GMRES subspace with "
+      "approximations to the error from previous restart cycles.",
+      "KSPSetType(ksp, KSPLGMRES);",
+      {"LGMRES ('loose' GMRES) mitigates the convergence stagnation caused "
+       "by restarting: it carries a handful of error-approximation vectors "
+       "(default 2, option -ksp_lgmres_augment) across restart boundaries. "
+       "It often converges in noticeably fewer iterations than plain "
+       "restarted GMRES at nearly the same cost."},
+      {"-ksp_lgmres_augment <k> : number of augmentation vectors (default 2)"},
+      {"KSPGMRES", "KSPDGMRES"},
+      0.13,
+  });
+
+  add(ApiSpec{
+      "KSPDGMRES",
+      ApiKind::SolverType,
+      ApiLevel::Advanced,
+      "Implements deflated GMRES, which adaptively removes the smallest "
+      "eigenvalues from the spectrum to accelerate restarted GMRES.",
+      "KSPSetType(ksp, KSPDGMRES);",
+      {"DGMRES computes approximate eigenvectors associated with the "
+       "smallest eigenvalues during the Arnoldi process and deflates them, "
+       "which can dramatically help matrices whose convergence is limited "
+       "by a few small eigenvalues. Controlled by -ksp_dgmres_eigen and "
+       "-ksp_dgmres_max_eigen."},
+      {"-ksp_dgmres_eigen <k> : number of eigenvalues to deflate per restart"},
+      {"KSPGMRES", "KSPLGMRES"},
+      0.10,
+  });
+
+  add(ApiSpec{
+      "KSPPIPECG",
+      ApiKind::SolverType,
+      ApiLevel::Advanced,
+      "Implements pipelined conjugate gradient, overlapping the global "
+      "reduction with the matrix-vector product.",
+      "KSPSetType(ksp, KSPPIPECG);",
+      {"Pipelined CG rearranges the classical CG recurrences so that the "
+       "single global reduction per iteration can be overlapped with the "
+       "matrix-vector product and preconditioner application, hiding "
+       "communication latency on large parallel machines. It requires "
+       "MPI-3 nonblocking collectives (MPI_Iallreduce) to show benefit and "
+       "is slightly less numerically stable than plain CG.",
+       "Related latency-hiding variants include KSPGROPPCG and "
+       "KSPPIPECR."},
+      {"-ksp_type pipecg : select this solver at runtime"},
+      {"KSPCG", "KSPGROPPCG", "KSPPIPECR"},
+      0.12,
+  });
+
+  add(ApiSpec{
+      "KSPGROPPCG",
+      ApiKind::SolverType,
+      ApiLevel::Developer,
+      "Implements Gropp's asynchronous variant of conjugate gradient with "
+      "two overlappable reductions.",
+      "KSPSetType(ksp, KSPGROPPCG);",
+      {"Gropp's CG variant splits the two inner products of classical CG "
+       "so each can overlap with other work. Like KSPPIPECG it targets "
+       "strong-scaling regimes where the allreduce latency dominates."},
+      {"-ksp_type groppcg : select this solver at runtime"},
+      {"KSPCG", "KSPPIPECG"},
+      0.06,
+  });
+
+  add(ApiSpec{
+      "KSPCR",
+      ApiKind::SolverType,
+      ApiLevel::Advanced,
+      "Implements the (preconditioned) Conjugate Residual method for "
+      "symmetric matrices.",
+      "KSPSetType(ksp, KSPCR);",
+      {"The conjugate residual method is closely related to MINRES — it "
+       "minimizes the residual norm for symmetric problems — but uses a "
+       "slightly different recurrence that requires the preconditioned "
+       "operator to be positive semidefinite on the Krylov subspace."},
+      {"-ksp_type cr : select this solver at runtime"},
+      {"KSPMINRES", "KSPCG"},
+      0.08,
+  });
+
+  add(ApiSpec{
+      "KSPCGLS",
+      ApiKind::SolverType,
+      ApiLevel::Advanced,
+      "Implements the CGLS method for least squares problems, a numerically "
+      "careful formulation of CG on the normal equations.",
+      "KSPSetType(ksp, KSPCGLS);",
+      {"CGLS, like KSPLSQR, solves min ||b - A x||_2 for rectangular "
+       "matrices without forming the normal equations explicitly. LSQR and "
+       "CGLS are mathematically equivalent in exact arithmetic; LSQR has "
+       "somewhat better numerical properties on ill-conditioned problems "
+       "and is the commonly recommended choice."},
+      {"-ksp_type cgls : select this solver at runtime"},
+      {"KSPLSQR", "KSPCGNE"},
+      0.07,
+  });
+
+  add(ApiSpec{
+      "KSPQCG",
+      ApiKind::SolverType,
+      ApiLevel::Developer,
+      "Implements conjugate gradient constrained to a trust region, for use "
+      "inside optimization algorithms.",
+      "KSPSetType(ksp, KSPQCG);",
+      {"QCG minimizes a quadratic model subject to a trust-region "
+       "constraint ||x|| <= delta; it is used by trust-region Newton "
+       "optimization methods (see also KSPNASH, KSPSTCG, KSPGLTR from the "
+       "same family). The preconditioner must be symmetric positive "
+       "definite."},
+      {"-ksp_qcg_trustregionradius <delta> : trust region radius"},
+      {"KSPNASH", "KSPSTCG", "KSPGLTR"},
+      0.05,
+  });
+
+  add(ApiSpec{
+      "KSPMatSolve",
+      ApiKind::Function,
+      ApiLevel::Intermediate,
+      "Solves a linear system with multiple right-hand sides stored as the "
+      "columns of a dense matrix, amortizing setup and communication.",
+      "PetscErrorCode KSPMatSolve(KSP ksp, Mat B, Mat X);",
+      {"KSPMatSolve solves A X = B where the right-hand sides are the "
+       "columns of B. Block methods such as KSPHPDDM can share Krylov "
+       "information between the right-hand sides; for other KSP types the "
+       "columns are solved sequentially but still reuse the preconditioner "
+       "setup, which is usually the dominant cost. This is far more "
+       "efficient than calling KSPSolve in a loop when the matrix does not "
+       "change between solves.",
+       "The preconditioner is built once and reused for every column. See "
+       "also KSPSetReusePreconditioner for reuse across separate KSPSolve "
+       "calls."},
+      {"-ksp_matsolve_batch_size <n> : split the right-hand sides into "
+       "batches"},
+      {"KSPSolve", "KSPSetReusePreconditioner", "KSPHPDDM"},
+      0.10,
+  });
+
+  return specs;
+}
+
+}  // namespace pkb::corpus::detail

@@ -1,0 +1,378 @@
+// Runtime option and concept-page specifications.
+#include "corpus/api_table_detail.h"
+
+namespace pkb::corpus::detail {
+
+std::vector<ApiSpec> option_specs() {
+  std::vector<ApiSpec> specs;
+  auto add = [&specs](ApiSpec spec) { specs.push_back(std::move(spec)); };
+
+  add(ApiSpec{
+      "-ksp_type",
+      ApiKind::Option,
+      ApiLevel::Beginner,
+      "Selects the Krylov method at runtime (gmres, cg, bcgs, minres, "
+      "lsqr, preonly, ...).",
+      "mpiexec -n 4 ./app -ksp_type gmres",
+      {"The option is consumed by KSPSetFromOptions, so the application "
+       "must call it. Combined with -pc_type this allows complete solver "
+       "experimentation from the command line without recompiling — the "
+       "central design philosophy of the PETSc solvers: composability at "
+       "runtime. Example: -ksp_type bcgs -pc_type asm -sub_pc_type ilu."},
+      {},
+      {"KSPSetType", "KSPSetFromOptions", "-pc_type"},
+      0.80,
+  });
+
+  add(ApiSpec{
+      "-pc_type",
+      ApiKind::Option,
+      ApiLevel::Beginner,
+      "Selects the preconditioner at runtime (jacobi, bjacobi, ilu, lu, "
+      "sor, asm, gamg, hypre, fieldsplit, none, ...).",
+      "mpiexec -n 4 ./app -pc_type gamg",
+      {"Consumed by PCSetFromOptions (usually reached through "
+       "KSPSetFromOptions). The preconditioner choice typically matters "
+       "far more than the Krylov method choice for hard problems. The "
+       "defaults are ilu sequentially and bjacobi (with ILU(0) blocks) in "
+       "parallel."},
+      {},
+      {"PCSetType", "-ksp_type", "-sub_pc_type"},
+      0.78,
+  });
+
+  add(ApiSpec{
+      "-ksp_monitor",
+      ApiKind::Option,
+      ApiLevel::Beginner,
+      "Prints the (preconditioned) residual norm at every KSP iteration.",
+      "./app -ksp_monitor",
+      {"Each line shows the iteration number and the residual norm the "
+       "method tracks — by default the preconditioned residual norm for "
+       "left-preconditioned methods. To see the true residual ||b - Ax|| "
+       "as well, use -ksp_monitor_true_residual. Output can be redirected "
+       "with a viewer specification, e.g. "
+       "-ksp_monitor ascii:residuals.txt."},
+      {},
+      {"-ksp_monitor_true_residual", "KSPMonitorSet", "-ksp_view"},
+      0.64,
+  });
+
+  add(ApiSpec{
+      "-ksp_monitor_true_residual",
+      ApiKind::Option,
+      ApiLevel::Intermediate,
+      "Prints both the preconditioned and the true (unpreconditioned) "
+      "residual norms at every iteration.",
+      "./app -ksp_monitor_true_residual",
+      {"The true residual norm ||b - Ax||_2 is computed explicitly each "
+       "iteration, adding the cost of one matrix-vector product per "
+       "iteration — use it for diagnosis, not production. A large gap "
+       "between the preconditioned and true residual norms signals an "
+       "ill-conditioned preconditioner: the preconditioned norm can look "
+       "converged while the true error is still large, which is exactly "
+       "the situation where trusting -ksp_monitor alone misleads."},
+      {},
+      {"-ksp_monitor", "KSPSetNormType", "KSPSetPCSide"},
+      0.41,
+  });
+
+  add(ApiSpec{
+      "-ksp_view",
+      ApiKind::Option,
+      ApiLevel::Beginner,
+      "Prints the complete configuration of the solver actually used "
+      "(KSP type, tolerances, PC type, sub-solvers, matrix info).",
+      "./app -ksp_view",
+      {"Printed once per solve after setup, -ksp_view is the ground truth "
+       "for 'what solver did I actually run?' — indispensable when "
+       "options interact or defaults kick in. It recursively shows inner "
+       "solvers (e.g. each block of PCBJACOBI and its ILU configuration). "
+       "Compare -ksp_view_pre to see the configuration before the solve."},
+      {},
+      {"-ksp_monitor", "-ksp_converged_reason", "KSPView"},
+      0.59,
+  });
+
+  add(ApiSpec{
+      "-ksp_converged_reason",
+      ApiKind::Option,
+      ApiLevel::Beginner,
+      "Prints why each linear solve terminated (which convergence or "
+      "divergence criterion fired) and the iteration count.",
+      "./app -ksp_converged_reason",
+      {"Typical outputs: 'Linear solve converged due to CONVERGED_RTOL "
+       "iterations 14' or 'Linear solve did not converge due to "
+       "DIVERGED_ITS iterations 10000'. The first stop for any 'my solver "
+       "is not converging' question: it distinguishes slow convergence "
+       "(DIVERGED_ITS) from blow-up (DIVERGED_DTOL) from preconditioner "
+       "failure (DIVERGED_PC_FAILED)."},
+      {},
+      {"KSPGetConvergedReason", "-ksp_monitor", "-ksp_view"},
+      0.55,
+  });
+
+  add(ApiSpec{
+      "-info",
+      ApiKind::Option,
+      ApiLevel::Intermediate,
+      "Prints verbose informational messages from PETSc internals, "
+      "including the success of matrix preallocation during assembly.",
+      "./app -info | grep malloc",
+      {"As described in the users manual, the option -info will print "
+       "information about the success of preallocation during matrix "
+       "assembly: lines such as 'MatAssemblyEnd_SeqAIJ(): Number of "
+       "mallocs during MatSetValues() is 0' confirm the preallocation was "
+       "sufficient, while a large malloc count pinpoints the classic "
+       "cause of slow assembly. Output can be filtered by class with "
+       "-info :mat,vec or redirected to a file with -info filename.",
+       "The volume is large; pipe through grep. PetscInfo is the "
+       "underlying logging routine, and it is deactivated entirely in "
+       "optimized builds configured with --with-debugging=0 unless "
+       "--with-info=1 is given."},
+      {},
+      {"MatSetValues", "MatAssemblyEnd", "-log_view"},
+      0.25,
+  });
+
+  add(ApiSpec{
+      "-log_view",
+      ApiKind::Option,
+      ApiLevel::Beginner,
+      "Prints the performance summary at PetscFinalize: time, flops, "
+      "messages, and reductions per event and per stage.",
+      "./app -log_view",
+      {"The -log_view table is the canonical PETSc performance tool: for "
+       "each event (MatMult, KSPSolve, PCApply, VecNorm, ...) it reports "
+       "count, time, flop rate, MPI message volume, and the fraction of "
+       "total runtime, split by logging stage. Always attach it when "
+       "asking performance questions on the mailing list. It replaced the "
+       "older -log_summary option.",
+       "Granular variants: -log_view :perf.txt writes to a file and "
+       "-log_view ::ascii_flamegraph emits flame-graph format."},
+      {},
+      {"PetscFinalize", "PetscLogStageRegister", "-info"},
+      0.49,
+  });
+
+  add(ApiSpec{
+      "-options_left",
+      ApiKind::Option,
+      ApiLevel::Beginner,
+      "At exit, lists options that were set but never used — the standard "
+      "way to catch misspelled option names.",
+      "./app -options_left",
+      {"Because unknown options are silently ignored (they might belong "
+       "to another library or a later object), a typo like -ksp_tpye "
+       "gmres simply does nothing. -options_left reports every option "
+       "that no object consumed, turning silent misconfiguration into a "
+       "visible warning at PetscFinalize."},
+      {},
+      {"PetscFinalize", "PetscInitialize", "-help"},
+      0.37,
+  });
+
+  add(ApiSpec{
+      "-ksp_gmres_restart",
+      ApiKind::Option,
+      ApiLevel::Intermediate,
+      "Sets the GMRES restart length (default 30).",
+      "./app -ksp_type gmres -ksp_gmres_restart 100",
+      {"Larger restart lengths reduce the risk of stagnation and usually "
+       "reduce iteration counts, but memory and orthogonalization cost "
+       "grow linearly and quadratically respectively with the restart. "
+       "The option applies to KSPGMRES, KSPFGMRES, and KSPLGMRES. From "
+       "code use KSPGMRESSetRestart."},
+      {},
+      {"KSPGMRES", "KSPGMRESSetRestart", "KSPLGMRES"},
+      0.43,
+  });
+
+  add(ApiSpec{
+      "-ksp_rtol",
+      ApiKind::Option,
+      ApiLevel::Beginner,
+      "Sets the relative convergence tolerance: stop when the residual "
+      "norm drops below rtol times the initial norm (default 1e-5).",
+      "./app -ksp_rtol 1e-8",
+      {"One of the four stopping parameters (with -ksp_atol, -ksp_divtol, "
+       "-ksp_max_it) applied by the default convergence test. Tightening "
+       "rtol beyond the discretization error wastes iterations; inside "
+       "Newton methods, inexact-Newton theory (Eisenstat-Walker) argues "
+       "for loose linear tolerances early in the nonlinear iteration."},
+      {},
+      {"KSPSetTolerances", "-ksp_atol", "-ksp_max_it"},
+      0.51,
+  });
+
+  add(ApiSpec{
+      "-ksp_max_it",
+      ApiKind::Option,
+      ApiLevel::Beginner,
+      "Caps the number of Krylov iterations (default 10000).",
+      "./app -ksp_max_it 500",
+      {"When the cap is reached before the tolerances are met, the solve "
+       "stops with KSP_DIVERGED_ITS (reported by -ksp_converged_reason). "
+       "Set it from code with the maxits argument of KSPSetTolerances. "
+       "For smoother-style fixed-iteration solves, combine a small "
+       "-ksp_max_it with -ksp_norm_type none and "
+       "KSPConvergedSkip."},
+      {},
+      {"KSPSetTolerances", "KSPGetConvergedReason", "-ksp_rtol"},
+      0.46,
+  });
+
+  add(ApiSpec{
+      "-ksp_initial_guess_nonzero",
+      ApiKind::Option,
+      ApiLevel::Intermediate,
+      "Uses the incoming contents of the solution vector as the initial "
+      "guess instead of zeroing it.",
+      "./app -ksp_initial_guess_nonzero true",
+      {"Runtime form of KSPSetInitialGuessNonzero. Essential in "
+       "time-stepping loops where the previous step's solution is a good "
+       "starting point; note that with a nonzero guess the reported "
+       "relative convergence is measured against the right-hand side "
+       "norm, not the initial residual, under the default test."},
+      {},
+      {"KSPSetInitialGuessNonzero", "KSPSolve"},
+      0.29,
+  });
+
+  add(ApiSpec{
+      "-ksp_norm_type",
+      ApiKind::Option,
+      ApiLevel::Advanced,
+      "Chooses the norm used by the convergence test: preconditioned, "
+      "unpreconditioned, natural, or none.",
+      "./app -ksp_norm_type unpreconditioned",
+      {"With 'unpreconditioned' the stopping test uses the true residual "
+       "||b - Ax|| even under left preconditioning, at the cost of extra "
+       "work per iteration. 'none' skips the norm (and the associated "
+       "global reduction) entirely so the method runs a fixed number of "
+       "iterations — standard for multigrid smoothers. Runtime form of "
+       "KSPSetNormType."},
+      {},
+      {"KSPSetNormType", "KSPSetPCSide", "-ksp_monitor_true_residual"},
+      0.19,
+  });
+
+  add(ApiSpec{
+      "-ksp_pc_side",
+      ApiKind::Option,
+      ApiLevel::Intermediate,
+      "Chooses left, right, or symmetric preconditioning at runtime.",
+      "./app -ksp_pc_side right",
+      {"Runtime form of KSPSetPCSide. Right preconditioning makes the "
+       "monitored norm the true residual norm and is required by FGMRES "
+       "and GCR; left preconditioning (GMRES's default) monitors the "
+       "preconditioned norm. Symmetric preconditioning is available for "
+       "methods and preconditioners that support it (e.g. with PCSOR's "
+       "symmetric variant)."},
+      {},
+      {"KSPSetPCSide", "-ksp_norm_type"},
+      0.21,
+  });
+
+  return specs;
+}
+
+std::vector<ApiSpec> concept_specs() {
+  std::vector<ApiSpec> specs;
+  auto add = [&specs](ApiSpec spec) { specs.push_back(std::move(spec)); };
+
+  add(ApiSpec{
+      "KSP",
+      ApiKind::Concept,
+      ApiLevel::Beginner,
+      "The abstraction for Krylov subspace iterative methods and (with "
+      "KSPPREONLY) direct solvers; manages the method, the preconditioner, "
+      "and the convergence testing.",
+      "",
+      {"KSP objects solve linear systems A x = b. The KSP design couples a "
+       "Krylov method (KSPType) with a preconditioner (PC) and exposes "
+       "every algorithmic choice through the options database. The default "
+       "solver configuration is GMRES(30) preconditioned with ILU(0) on "
+       "one process and block Jacobi/ILU(0) in parallel.",
+       "Most KSP methods require a square matrix; KSP can also be used to "
+       "solve least squares problems with rectangular matrices, using, for "
+       "example, KSPLSQR, which handles overdetermined and underdetermined "
+       "systems. The matrix need not be explicitly assembled — matrix-free "
+       "MATSHELL operators work with any KSP, though most preconditioners "
+       "need an assembled Pmat.",
+       "Typical usage: KSPCreate, KSPSetOperators, KSPSetFromOptions, "
+       "KSPSolve, KSPDestroy. Solver composition (fieldsplit blocks, "
+       "multigrid levels, Schwarz subdomains, inner-outer iterations) is "
+       "configured entirely through prefixed options."},
+      {"-ksp_type", "-ksp_rtol", "-ksp_monitor", "-ksp_view"},
+      {"KSPCreate", "KSPSolve", "KSPLSQR", "PCSetType"},
+      0.89,
+  });
+
+  add(ApiSpec{
+      "PC",
+      ApiKind::Concept,
+      ApiLevel::Beginner,
+      "The preconditioner abstraction: an operator B approximating the "
+      "inverse action of the matrix, applied every Krylov iteration.",
+      "",
+      {"Preconditioning transforms A x = b into an equivalent system with "
+       "more favorable spectral properties; virtually all practical Krylov "
+       "convergence comes from the preconditioner. PC types range from "
+       "trivially parallel point methods (PCJACOBI, PCSOR) through "
+       "incomplete factorizations (PCILU, PCICC) and domain decomposition "
+       "(PCBJACOBI, PCASM) to optimal multilevel methods (PCMG, PCGAMG, "
+       "PCHYPRE) and composition frameworks (PCFIELDSPLIT, PCCOMPOSITE).",
+       "A preconditioner can be applied on the left, the right, or "
+       "symmetrically (KSPSetPCSide); this changes which residual norm "
+       "the method monitors."},
+      {"-pc_type"},
+      {"PCSetType", "KSPGetPC", "KSPSetPCSide"},
+      0.77,
+  });
+
+  add(ApiSpec{
+      "KSPConvergedReason",
+      ApiKind::Concept,
+      ApiLevel::Intermediate,
+      "The enumeration of reasons a KSP iteration stops: positive values "
+      "mean converged, negative values mean diverged.",
+      "",
+      {"Common values: KSP_CONVERGED_RTOL (relative tolerance met — the "
+       "usual success), KSP_CONVERGED_ATOL, KSP_CONVERGED_ITS (fixed "
+       "iteration methods like preonly), KSP_DIVERGED_ITS (iteration cap "
+       "hit first — strengthen the preconditioner or raise -ksp_max_it), "
+       "KSP_DIVERGED_DTOL (residual grew by the divergence factor), "
+       "KSP_DIVERGED_BREAKDOWN (Krylov recurrence broke down — try "
+       "another method), KSP_DIVERGED_PC_FAILED (preconditioner setup or "
+       "apply failed, e.g. a zero pivot during factorization).",
+       "Query from code with KSPGetConvergedReason or print with "
+       "-ksp_converged_reason."},
+      {"-ksp_converged_reason"},
+      {"KSPGetConvergedReason", "KSPSetTolerances"},
+      0.34,
+  });
+
+  add(ApiSpec{
+      "MATSHELL",
+      ApiKind::Concept,
+      ApiLevel::Advanced,
+      "Matrix-free matrix type whose operations are user callbacks; lets "
+      "Krylov methods run without an assembled matrix.",
+      "",
+      {"A MATSHELL stores only a user context and callbacks "
+       "(MatShellSetOperation), most importantly MATOP_MULT for y = A x. "
+       "Since Krylov methods need only the operator action, a shell "
+       "matrix suffices for the Amat of KSPSetOperators; supply an "
+       "assembled approximation as Pmat for the preconditioner, or use "
+       "preconditioners that need no entries (PCNONE, PCSHELL, or a "
+       "user-provided PCMG hierarchy)."},
+      {},
+      {"MatMult", "KSPSetOperators", "PCSHELL"},
+      0.31,
+  });
+
+  return specs;
+}
+
+}  // namespace pkb::corpus::detail

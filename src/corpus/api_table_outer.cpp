@@ -1,0 +1,669 @@
+// The wider PETSc library surface: nonlinear solvers (SNES), time steppers
+// (TS), data management (DM), and additional Mat/Vec/Sys entries. These
+// pages share heavy vocabulary with the Krylov pages ("tolerances",
+// "monitor", "converged reason", "set from options"), which is exactly what
+// makes retrieval over the real PETSc docs nontrivial.
+#include "corpus/api_table_detail.h"
+
+namespace pkb::corpus::detail {
+
+std::vector<ApiSpec> outer_library_specs() {
+  std::vector<ApiSpec> specs;
+  auto add = [&specs](ApiSpec spec) { specs.push_back(std::move(spec)); };
+
+  // ---------------------------------------------------------------- SNES
+  add(ApiSpec{
+      "SNES",
+      ApiKind::Concept,
+      ApiLevel::Beginner,
+      "The abstraction for nonlinear solvers: Newton-type methods, "
+      "quasi-Newton, nonlinear Gauss-Seidel, and composed nonlinear "
+      "preconditioning.",
+      "",
+      {"SNES solves F(x) = 0. Newton's method with line search "
+       "(SNESNEWTONLS) is the default; each Newton step solves a linear "
+       "system with the inner KSP, reachable through SNESGetKSP and "
+       "configured with the usual -ksp_ and -pc_ options. The Jacobian may "
+       "be assembled, matrix-free (-snes_mf), or finite-difference colored "
+       "(-snes_fd_color).",
+       "Globalization options include line search variants (-snes_linesearch_"
+       "type bt,l2,cp) and trust region (SNESNEWTONTR). Convergence is "
+       "monitored with -snes_monitor and diagnosed with "
+       "-snes_converged_reason."},
+      {"-snes_type", "-snes_monitor", "-snes_rtol"},
+      {"SNESCreate", "SNESSolve", "SNESGetKSP"},
+      0.72,
+  });
+
+  add(ApiSpec{
+      "SNESCreate",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Creates a nonlinear solver (SNES) context.",
+      "PetscErrorCode SNESCreate(MPI_Comm comm, SNES *snes);",
+      {"The lifecycle mirrors KSP: SNESCreate, SNESSetFunction, "
+       "SNESSetJacobian, SNESSetFromOptions, SNESSolve, SNESDestroy. The "
+       "inner linear solver is owned by the SNES and configured through "
+       "its options prefix."},
+      {},
+      {"SNESSolve", "SNESSetFunction", "SNESGetKSP"},
+      0.62,
+  });
+
+  add(ApiSpec{
+      "SNESSolve",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Runs the nonlinear solve F(x) = 0 from an initial guess.",
+      "PetscErrorCode SNESSolve(SNES snes, Vec b, Vec x);",
+      {"Each nonlinear iteration evaluates the residual, optionally "
+       "rebuilds the Jacobian, solves the linearized system with the inner "
+       "KSP, and applies globalization. Diagnose failures with "
+       "-snes_converged_reason: SNES_DIVERGED_LINE_SEARCH and "
+       "SNES_DIVERGED_LINEAR_SOLVE are the most common; the latter points "
+       "at the inner Krylov solve, so add -ksp_converged_reason too.",
+       "The nonlinear tolerances are set with SNESSetTolerances "
+       "(-snes_rtol, -snes_atol, -snes_stol, -snes_max_it)."},
+      {"-snes_monitor : print the function norm each nonlinear iteration",
+       "-snes_converged_reason : print why the nonlinear solve stopped"},
+      {"SNESSetTolerances", "SNESGetConvergedReason", "KSPSolve"},
+      0.64,
+  });
+
+  add(ApiSpec{
+      "SNESSetFunction",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Sets the callback that evaluates the nonlinear residual F(x).",
+      "PetscErrorCode SNESSetFunction(SNES snes, Vec r, PetscErrorCode "
+      "(*f)(SNES, Vec, Vec, void*), void *ctx);",
+      {"The residual callback is the heart of a SNES application. The "
+       "vector r is owned by the caller and reused across evaluations. "
+       "The callback must not change x. For debugging, -snes_test_jacobian "
+       "compares the hand-coded Jacobian against finite differences of "
+       "this function."},
+      {},
+      {"SNESSetJacobian", "SNESSolve"},
+      0.55,
+  });
+
+  add(ApiSpec{
+      "SNESSetJacobian",
+      ApiKind::Function,
+      ApiLevel::Intermediate,
+      "Sets the callback that assembles the Jacobian (and the matrix used "
+      "to build the preconditioner).",
+      "PetscErrorCode SNESSetJacobian(SNES snes, Mat Amat, Mat Pmat, "
+      "PetscErrorCode (*J)(SNES, Vec, Mat, Mat, void*), void *ctx);",
+      {"As with KSPSetOperators, Amat defines the operator and Pmat the "
+       "preconditioning matrix; supplying a matrix-free Amat with an "
+       "assembled Pmat is common. Lagging the Jacobian "
+       "(-snes_lag_jacobian) amortizes assembly over several Newton "
+       "steps, typically paired with KSPSetReusePreconditioner."},
+      {"-snes_lag_jacobian <n> : rebuild the Jacobian every n iterations"},
+      {"SNESSetFunction", "KSPSetOperators", "MatCreateSNESMF"},
+      0.42,
+  });
+
+  add(ApiSpec{
+      "SNESGetKSP",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Returns the inner linear solver (KSP) of a nonlinear solver.",
+      "PetscErrorCode SNESGetKSP(SNES snes, KSP *ksp);",
+      {"Use it to configure the linear solve inside Newton's method from "
+       "code; from the command line the inner solver responds to the "
+       "ordinary -ksp_ and -pc_ options. Inexact Newton methods "
+       "deliberately solve the inner system loosely (see "
+       "-snes_ksp_ew for Eisenstat-Walker adaptive tolerances)."},
+      {"-snes_ksp_ew : adaptive inner tolerances (Eisenstat-Walker)"},
+      {"SNESSolve", "KSPSetTolerances"},
+      0.48,
+  });
+
+  add(ApiSpec{
+      "SNESGetConvergedReason",
+      ApiKind::Function,
+      ApiLevel::Intermediate,
+      "Returns why the nonlinear iteration stopped.",
+      "PetscErrorCode SNESGetConvergedReason(SNES snes, "
+      "SNESConvergedReason *reason);",
+      {"Positive reasons mean the nonlinear solve converged "
+       "(SNES_CONVERGED_FNORM_RELATIVE, SNES_CONVERGED_SNORM_RELATIVE); "
+       "negative mean failure: SNES_DIVERGED_MAX_IT, "
+       "SNES_DIVERGED_LINE_SEARCH, SNES_DIVERGED_LINEAR_SOLVE (the inner "
+       "KSP failed — check -ksp_converged_reason), SNES_DIVERGED_FNORM_NAN "
+       "(a NaN in the residual, often a bad initial guess or a bug in the "
+       "function). The runtime shortcut is -snes_converged_reason."},
+      {"-snes_converged_reason"},
+      {"SNESSolve", "KSPGetConvergedReason"},
+      0.38,
+  });
+
+  // ------------------------------------------------------------------ TS
+  add(ApiSpec{
+      "TS",
+      ApiKind::Concept,
+      ApiLevel::Beginner,
+      "The abstraction for time integration of ODEs and time-dependent "
+      "PDEs: explicit, implicit, and IMEX methods with adaptive stepping.",
+      "",
+      {"TS integrates u_t = G(u,t) (explicit), F(t,u,u_t) = 0 (implicit), "
+       "or the IMEX combination. Families include TSEULER, TSBEULER, "
+       "TSTHETA, TSRK (explicit Runge-Kutta), TSARKIMEX (IMEX), and "
+       "TSBDF. Implicit methods solve a nonlinear system per step through "
+       "an inner SNES, which in turn uses a KSP — so a stiff transient run "
+       "composes all three solver layers.",
+       "Adaptive time stepping is controlled with -ts_adapt_type and the "
+       "tolerances -ts_rtol/-ts_atol; monitor progress with -ts_monitor."},
+      {"-ts_type", "-ts_monitor", "-ts_dt"},
+      {"TSCreate", "TSSolve", "SNES"},
+      0.58,
+  });
+
+  add(ApiSpec{
+      "TSSolve",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Integrates the ODE/DAE system over the requested time interval.",
+      "PetscErrorCode TSSolve(TS ts, Vec u);",
+      {"Steps from the current time until TSSetMaxTime or TSSetMaxSteps is "
+       "reached, adapting the step when an adapter is active. For stiff "
+       "problems with implicit methods, the per-step cost is dominated by "
+       "the inner SNES/KSP solves; reuse strategies "
+       "(KSPSetReusePreconditioner, -snes_lag_jacobian) matter greatly."},
+      {"-ts_monitor : print time step information",
+       "-ts_adapt_type <none,basic,dsp> : step adaptivity"},
+      {"TSCreate", "SNESSolve"},
+      0.47,
+  });
+
+  add(ApiSpec{
+      "TSSetIFunction",
+      ApiKind::Function,
+      ApiLevel::Intermediate,
+      "Sets the implicit residual callback F(t, u, u_t) for implicit and "
+      "IMEX time integration.",
+      "PetscErrorCode TSSetIFunction(TS ts, Vec r, TSIFunctionFn f, void "
+      "*ctx);",
+      {"The implicit form covers DAEs and stiff terms. The shifted "
+       "Jacobian dF/du + a dF/du_t is supplied with TSSetIJacobian, where "
+       "the shift a is provided by the integrator at each stage."},
+      {},
+      {"TSSetIJacobian", "TSSolve"},
+      0.25,
+  });
+
+  // ------------------------------------------------------------------ DM
+  add(ApiSpec{
+      "DMDA",
+      ApiKind::Concept,
+      ApiLevel::Beginner,
+      "Structured-grid data management: distributed Cartesian grids with "
+      "ghost regions, used to generate vectors, matrices, and multigrid "
+      "hierarchies.",
+      "",
+      {"DMDA manages the parallel decomposition of 1/2/3-dimensional "
+       "structured grids: it creates layout-compatible vectors "
+       "(DMCreateGlobalVector), preallocated matrices (DMCreateMatrix), "
+       "and ghost updates (DMGlobalToLocal). Attached to a KSP or SNES "
+       "with KSPSetDM/SNESSetDM, it enables geometric multigrid by "
+       "refinement/coarsening of the grid hierarchy.",
+       "The stencil width and type (box or star) determine the ghost "
+       "pattern and the matrix sparsity DMCreateMatrix preallocates — "
+       "matrices from DMCreateMatrix never need manual preallocation."},
+      {"-da_grid_x <n> : grid points in x", "-da_refine <k> : refinements"},
+      {"DMCreateMatrix", "DMCreateGlobalVector", "PCMG"},
+      0.46,
+  });
+
+  add(ApiSpec{
+      "DMPlex",
+      ApiKind::Concept,
+      ApiLevel::Advanced,
+      "Unstructured-mesh data management: topology, labels, and "
+      "discretization support for finite element and finite volume "
+      "methods.",
+      "",
+      {"DMPlex represents arbitrary cell complexes, supports parallel "
+       "distribution and redistribution, mesh import (Gmsh, ExodusII), "
+       "adaptive refinement, and — with PetscFE/PetscFV — automatic "
+       "assembly of residuals and Jacobians from pointwise physics "
+       "callbacks. Like DMDA it plugs into SNES/TS/KSP through "
+       "SNESSetDM."},
+      {"-dm_plex_box_faces <n,m> : built-in box meshes",
+       "-dm_refine <k> : uniform refinements"},
+      {"DMDA", "SNES"},
+      0.33,
+  });
+
+  add(ApiSpec{
+      "DMCreateMatrix",
+      ApiKind::Function,
+      ApiLevel::Intermediate,
+      "Creates a correctly preallocated matrix matching a DM's layout and "
+      "sparsity.",
+      "PetscErrorCode DMCreateMatrix(DM dm, Mat *A);",
+      {"Matrices obtained from a DM are fully preallocated from the mesh "
+       "stencil/topology, so assembly triggers no mallocs (verifiable "
+       "with -info) and no manual preallocation calls are needed. This is "
+       "the recommended way to create matrices whenever a DM describes "
+       "the problem layout."},
+      {},
+      {"DMDA", "MatSetValues", "MatXAIJSetPreallocation"},
+      0.28,
+  });
+
+  // ---------------------------------------------------------- Mat extras
+  add(ApiSpec{
+      "MatXAIJSetPreallocation",
+      ApiKind::Function,
+      ApiLevel::Intermediate,
+      "Unified preallocation call for AIJ-family matrices (sequential, "
+      "MPI, blocked): sets the expected nonzeros per row.",
+      "PetscErrorCode MatXAIJSetPreallocation(Mat A, PetscInt bs, const "
+      "PetscInt dnnz[], const PetscInt onnz[], const PetscInt dnnzu[], "
+      "const PetscInt onnzu[]);",
+      {"Preallocation tells the matrix how many nonzeros each row will "
+       "hold in the diagonal and off-diagonal blocks, eliminating the "
+       "reallocate-and-copy cost that otherwise dominates assembly. "
+       "Verify sufficiency with -info (look for 'Number of mallocs during "
+       "MatSetValues() is 0'). Overestimating slightly is cheap; "
+       "underestimating is very expensive.",
+       "When the sparsity pattern is hard to predict, assemble once "
+       "through a MatPreallocator matrix and replay."},
+      {},
+      {"MatSetValues", "MatPreallocator", "DMCreateMatrix"},
+      0.35,
+  });
+
+  add(ApiSpec{
+      "MatMultTranspose",
+      ApiKind::Function,
+      ApiLevel::Intermediate,
+      "Computes the transpose product y = A^T x.",
+      "PetscErrorCode MatMultTranspose(Mat mat, Vec x, Vec y);",
+      {"Required by Krylov methods that iterate with both A and A^T "
+       "(KSPBICG) and used internally by KSPLSQR and KSPCGNE for the "
+       "normal equations. Matrix-free shells must register "
+       "MATOP_MULT_TRANSPOSE to support these methods. For complex "
+       "matrices the Hermitian variant is MatMultHermitianTranspose."},
+      {},
+      {"MatMult", "KSPBICG", "KSPLSQR"},
+      0.31,
+  });
+
+  add(ApiSpec{
+      "MatCreateVecs",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Creates vectors compatible with a matrix's row and column layouts.",
+      "PetscErrorCode MatCreateVecs(Mat mat, Vec *right, Vec *left);",
+      {"Returns a right vector (compatible with A x) and a left vector "
+       "(compatible with A^T y / the range). For rectangular matrices the "
+       "two differ — exactly the situation in least squares solves with "
+       "KSPLSQR, where the solution vector matches the columns and the "
+       "right-hand side matches the rows."},
+      {},
+      {"VecCreate", "KSPSolve", "KSPLSQR"},
+      0.36,
+  });
+
+  add(ApiSpec{
+      "MatGetOwnershipRange",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Returns the range of rows owned by this process.",
+      "PetscErrorCode MatGetOwnershipRange(Mat mat, PetscInt *rstart, "
+      "PetscInt *rend);",
+      {"PETSc matrices are distributed by contiguous row blocks. Each "
+       "process should set values primarily in its own rows for assembly "
+       "efficiency, though setting off-process values is legal (they are "
+       "communicated during assembly)."},
+      {},
+      {"MatSetValues", "MatAssemblyBegin"},
+      0.44,
+  });
+
+  add(ApiSpec{
+      "MatNorm",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Computes a matrix norm (Frobenius, 1-norm, or infinity norm).",
+      "PetscErrorCode MatNorm(Mat mat, NormType type, PetscReal *nrm);",
+      {"NORM_FROBENIUS, NORM_1, and NORM_INFINITY are supported for "
+       "assembled formats. The 2-norm is not directly available (it "
+       "requires a singular value computation; use SLEPc for that)."},
+      {},
+      {"VecNorm", "MatMult"},
+      0.27,
+  });
+
+  add(ApiSpec{
+      "MatZeroRowsColumns",
+      ApiKind::Function,
+      ApiLevel::Intermediate,
+      "Zeros rows and columns of a matrix and fixes the diagonal — the "
+      "standard way to impose Dirichlet boundary conditions while keeping "
+      "symmetry.",
+      "PetscErrorCode MatZeroRowsColumns(Mat mat, PetscInt n, const "
+      "PetscInt rows[], PetscScalar diag, Vec x, Vec b);",
+      {"Unlike MatZeroRows, zeroing the columns as well preserves "
+       "symmetry, so SPD problems stay SPD and KSPCG remains applicable. "
+       "The right-hand side is adjusted using the supplied solution "
+       "values so the eliminated unknowns take their boundary values."},
+      {},
+      {"MatSetValues", "KSPCG"},
+      0.22,
+  });
+
+  // ---------------------------------------------------------- Vec extras
+  add(ApiSpec{
+      "VecDot",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Computes the (conjugated) inner product of two vectors.",
+      "PetscErrorCode VecDot(Vec x, Vec y, PetscScalar *val);",
+      {"A global reduction in parallel — together with VecNorm these "
+       "reductions are the scalability bottleneck of Krylov methods, "
+       "motivating pipelined variants (KSPPIPECG) and single-reduction "
+       "formulations (-ksp_cg_single_reduction). For multiple inner "
+       "products at once use VecMDot, which amortizes the reduction."},
+      {},
+      {"VecNorm", "VecMDot", "KSPPIPECG"},
+      0.49,
+  });
+
+  add(ApiSpec{
+      "VecSetValues",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Inserts or adds values into a vector at global indices.",
+      "PetscErrorCode VecSetValues(Vec x, PetscInt ni, const PetscInt "
+      "ix[], const PetscScalar y[], InsertMode iora);",
+      {"Like MatSetValues, the insertions are cached and require "
+       "VecAssemblyBegin/VecAssemblyEnd before the vector can be used. "
+       "Values may target off-process entries; assembly routes them to "
+       "their owners."},
+      {},
+      {"VecAssemblyBegin", "MatSetValues"},
+      0.50,
+  });
+
+  add(ApiSpec{
+      "VecGhostUpdateBegin",
+      ApiKind::Function,
+      ApiLevel::Advanced,
+      "Begins updating the ghost values of a ghosted vector.",
+      "PetscErrorCode VecGhostUpdateBegin(Vec g, InsertMode im, "
+      "ScatterMode sm);",
+      {"Ghosted vectors store local copies of selected off-process "
+       "entries; the begin/end update pair refreshes them, overlapping "
+       "communication with computation. DM-based codes usually use "
+       "DMGlobalToLocal instead."},
+      {},
+      {"VecCreateGhost", "DMDA"},
+      0.15,
+  });
+
+  add(ApiSpec{
+      "VecScatterCreate",
+      ApiKind::Function,
+      ApiLevel::Advanced,
+      "Creates a generalized gather/scatter between two vector layouts.",
+      "PetscErrorCode VecScatterCreate(Vec x, IS ix, Vec y, IS iy, "
+      "VecScatter *ctx);",
+      {"VecScatter (now implemented over PetscSF) expresses arbitrary "
+       "communication patterns between distributed vectors. It underlies "
+       "ghost updates, subvector extraction, and the parallel matrix "
+       "off-diagonal products."},
+      {},
+      {"VecGhostUpdateBegin", "MatMult"},
+      0.18,
+  });
+
+  // ---------------------------------------------------------- Sys extras
+  add(ApiSpec{
+      "PetscOptionsGetInt",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Reads an integer from the options database.",
+      "PetscErrorCode PetscOptionsGetInt(PetscOptions options, const char "
+      "pre[], const char name[], PetscInt *ivalue, PetscBool *set);",
+      {"Applications use the options database for their own parameters "
+       "too, inheriting PETSc's runtime-configuration style. Related "
+       "getters exist for reals, strings, bools, and arrays; "
+       "PetscOptionsBegin/End groups them for -help output."},
+      {},
+      {"PetscInitialize", "PetscOptionsSetValue"},
+      0.34,
+  });
+
+  add(ApiSpec{
+      "PetscOptionsSetValue",
+      ApiKind::Function,
+      ApiLevel::Intermediate,
+      "Programmatically inserts an option into the options database.",
+      "PetscErrorCode PetscOptionsSetValue(PetscOptions options, const "
+      "char name[], const char value[]);",
+      {"Lets an application hardwire defaults (before the objects' "
+       "SetFromOptions calls) while still allowing command-line "
+       "overrides. Options set this way are indistinguishable from "
+       "command-line options, including for -options_left accounting."},
+      {},
+      {"PetscOptionsGetInt", "KSPSetFromOptions"},
+      0.23,
+  });
+
+  add(ApiSpec{
+      "PetscLogStageRegister",
+      ApiKind::Function,
+      ApiLevel::Intermediate,
+      "Registers a named logging stage for the -log_view performance "
+      "summary.",
+      "PetscErrorCode PetscLogStageRegister(const char name[], "
+      "PetscLogStage *stage);",
+      {"Stages partition the -log_view report: wrap phases of the "
+       "application (setup, assembly, solve, I/O) in "
+       "PetscLogStagePush/Pop so the per-event table is broken down by "
+       "phase. Without stages, one-time setup costs blend into the solve "
+       "numbers and mislead scaling studies."},
+      {},
+      {"PetscLogStagePush", "PetscFinalize"},
+      0.21,
+  });
+
+  add(ApiSpec{
+      "PetscLogStagePush",
+      ApiKind::Function,
+      ApiLevel::Intermediate,
+      "Enters a registered logging stage (paired with PetscLogStagePop).",
+      "PetscErrorCode PetscLogStagePush(PetscLogStage stage);",
+      {"Events recorded while a stage is active are attributed to it in "
+       "the -log_view summary. Stages nest; the innermost active stage "
+       "receives the attribution."},
+      {},
+      {"PetscLogStageRegister", "PetscFinalize"},
+      0.17,
+  });
+
+  add(ApiSpec{
+      "PetscPrintf",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Prints formatted output from the first process of a communicator.",
+      "PetscErrorCode PetscPrintf(MPI_Comm comm, const char format[], ...);",
+      {"Avoids the interleaved-output chaos of every rank printing: only "
+       "rank 0 of the communicator prints. For synchronized per-rank "
+       "output use PetscSynchronizedPrintf followed by "
+       "PetscSynchronizedFlush."},
+      {},
+      {"PetscInitialize"},
+      0.53,
+  });
+
+  add(ApiSpec{
+      "PetscMalloc1",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Allocates memory with PETSc's tracked allocator.",
+      "PetscErrorCode PetscMalloc1(size_t m, Type **result);",
+      {"PETSc-tracked allocation participates in -malloc_view reporting "
+       "and leak detection at PetscFinalize. Pair with PetscFree. In "
+       "debug builds, memory is poisoned and guarded to catch overwrite "
+       "bugs."},
+      {},
+      {"PetscFinalize"},
+      0.29,
+  });
+
+  // -------------------------------------------------- extra PC/KSP pages
+  add(ApiSpec{
+      "PCEISENSTAT",
+      ApiKind::PcType,
+      ApiLevel::Advanced,
+      "SSOR preconditioning with the Eisenstat trick, halving the work of "
+      "the preconditioned iteration.",
+      "PCSetType(pc, PCEISENSTAT);",
+      {"Eisenstat's trick rewrites the SSOR-preconditioned iteration so "
+       "each step costs about one multiplication with the triangular "
+       "parts instead of two. It only pays off with methods and norms "
+       "that tolerate the transformed system."},
+      {"-pc_eisenstat_omega <omega> : relaxation factor"},
+      {"PCSOR", "KSPCG"},
+      0.08,
+  });
+
+  add(ApiSpec{
+      "PCGASM",
+      ApiKind::PcType,
+      ApiLevel::Advanced,
+      "Generalized additive Schwarz: user-defined subdomains that may "
+      "span processes.",
+      "PCSetType(pc, PCGASM);",
+      {"Where PCASM ties subdomains to processes, PCGASM decouples the "
+       "subdomain decomposition from the parallel distribution, allowing "
+       "subdomains larger than a rank's ownership. Configuration and "
+       "inner-solver options mirror PCASM."},
+      {"-pc_gasm_overlap <n>"},
+      {"PCASM", "PCBJACOBI"},
+      0.07,
+  });
+
+  add(ApiSpec{
+      "PCCOMPOSITE",
+      ApiKind::PcType,
+      ApiLevel::Advanced,
+      "Composes several preconditioners additively or multiplicatively.",
+      "PCSetType(pc, PCCOMPOSITE);",
+      {"PCCOMPOSITE chains sub-preconditioners (-pc_composite_pcs "
+       "ilu,gamg) combined additively or multiplicatively "
+       "(-pc_composite_type). Useful for pairing a cheap smoother with a "
+       "coarse corrector outside of a formal multigrid."},
+      {"-pc_composite_type <additive,multiplicative>",
+       "-pc_composite_pcs <list>"},
+      {"PCMG", "PCFIELDSPLIT"},
+      0.09,
+  });
+
+  add(ApiSpec{
+      "KSPIBCGS",
+      ApiKind::SolverType,
+      ApiLevel::Advanced,
+      "Improved stabilized BiCG: a reformulated BiCGStab with a single "
+      "reduction phase per iteration.",
+      "KSPSetType(ksp, KSPIBCGS);",
+      {"The improved variant fuses the inner products of BiCGStab into "
+       "one reduction, helping strong scaling. Numerically it can "
+       "be slightly less robust than plain BiCGStab; it requires an "
+       "extra initial matrix product."},
+      {"-ksp_type ibcgs"},
+      {"KSPBCGS", "KSPBCGSL"},
+      0.06,
+  });
+
+  add(ApiSpec{
+      "KSPFBCGS",
+      ApiKind::SolverType,
+      ApiLevel::Advanced,
+      "Flexible BiCGStab, tolerating a variable preconditioner.",
+      "KSPSetType(ksp, KSPFBCGS);",
+      {"The flexible variant of BiCGStab permits the preconditioner to "
+       "change between iterations, like FGMRES but with short "
+       "recurrences. Robustness under strongly varying preconditioners "
+       "is weaker than FGMRES's."},
+      {"-ksp_type fbcgs"},
+      {"KSPBCGS", "KSPFGMRES"},
+      0.05,
+  });
+
+  add(ApiSpec{
+      "KSPHPDDM",
+      ApiKind::SolverType,
+      ApiLevel::Developer,
+      "Interface to the HPDDM library of advanced Krylov methods, "
+      "including block and recycling variants (GCRODR).",
+      "KSPSetType(ksp, KSPHPDDM);",
+      {"HPDDM provides block GMRES/CG (solving several right-hand sides "
+       "simultaneously with shared Krylov information — the natural "
+       "engine under KSPMatSolve) and recycling methods (GCRODR) that "
+       "retain deflation spaces across consecutive solves. Requires "
+       "PETSc configured with --download-hpddm."},
+      {"-ksp_hpddm_type <gmres,bgmres,cg,bcg,gcrodr>"},
+      {"KSPMatSolve", "KSPDGMRES"},
+      0.05,
+  });
+
+  add(ApiSpec{
+      "KSPView",
+      ApiKind::Function,
+      ApiLevel::Beginner,
+      "Prints the configuration of a KSP object to a viewer.",
+      "PetscErrorCode KSPView(KSP ksp, PetscViewer viewer);",
+      {"The programmatic form of -ksp_view: shows the Krylov method, "
+       "tolerances, norm type, preconditioning side, and recursively the "
+       "PC and its sub-solvers. Essential when debugging which options "
+       "actually took effect."},
+      {"-ksp_view : view after setup from the options database"},
+      {"KSPSolve", "PCView"},
+      0.39,
+  });
+
+  add(ApiSpec{
+      "KSPGMRESSetRestart",
+      ApiKind::Function,
+      ApiLevel::Intermediate,
+      "Sets the GMRES restart length from code.",
+      "PetscErrorCode KSPGMRESSetRestart(KSP ksp, PetscInt restart);",
+      {"The programmatic form of -ksp_gmres_restart. The default restart "
+       "is 30. Applies to GMRES, FGMRES, and LGMRES. Larger restarts "
+       "improve convergence at higher memory and orthogonalization "
+       "cost."},
+      {"-ksp_gmres_restart <n>"},
+      {"KSPGMRES", "KSPFGMRES"},
+      0.26,
+  });
+
+  add(ApiSpec{
+      "MatNullSpaceCreate",
+      ApiKind::Function,
+      ApiLevel::Advanced,
+      "Creates a null space object describing the kernel of a singular "
+      "operator.",
+      "PetscErrorCode MatNullSpaceCreate(MPI_Comm comm, PetscBool "
+      "has_cnst, PetscInt n, const Vec vecs[], MatNullSpace *sp);",
+      {"Pass has_cnst = PETSC_TRUE for the constant null space (pure "
+       "Neumann problems); supply basis vectors for richer kernels. "
+       "Attach to the matrix with MatSetNullSpace so the Krylov solver "
+       "projects it out of the residual at each iteration, keeping the "
+       "iterates in the space where the singular system has a unique "
+       "solution."},
+      {},
+      {"MatSetNullSpace", "MatNullSpaceCreateRigidBody"},
+      0.19,
+  });
+
+  return specs;
+}
+
+}  // namespace pkb::corpus::detail

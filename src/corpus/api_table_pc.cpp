@@ -1,0 +1,331 @@
+// PC (preconditioner) type specifications.
+#include "corpus/api_table_detail.h"
+
+namespace pkb::corpus::detail {
+
+std::vector<ApiSpec> pc_type_specs() {
+  std::vector<ApiSpec> specs;
+  auto add = [&specs](ApiSpec spec) { specs.push_back(std::move(spec)); };
+
+  add(ApiSpec{
+      "PCJACOBI",
+      ApiKind::PcType,
+      ApiLevel::Beginner,
+      "Jacobi (diagonal scaling) preconditioning: the preconditioner is the "
+      "inverse of the matrix diagonal.",
+      "PCSetType(pc, PCJACOBI);",
+      {"Jacobi preconditioning divides each residual entry by the "
+       "corresponding diagonal entry of the matrix. It is embarrassingly "
+       "parallel, needs no setup communication, and preserves symmetry, so "
+       "it composes with KSPCG on SPD systems. It is weak: expect many "
+       "iterations on stiff problems.",
+       "Variants selected with -pc_jacobi_type use the row sums or row "
+       "maxima instead of the diagonal. PCPBJACOBI applies point-block "
+       "Jacobi for matrices with small dense blocks."},
+      {"-pc_jacobi_type <diagonal,rowmax,rowsum> : what to use as the "
+       "diagonal",
+       "-pc_jacobi_abs : take absolute values of the diagonal entries"},
+      {"PCBJACOBI", "PCSOR", "PCNONE"},
+      0.85,
+  });
+
+  add(ApiSpec{
+      "PCBJACOBI",
+      ApiKind::PcType,
+      ApiLevel::Beginner,
+      "Block Jacobi preconditioning: one block per MPI process by default, "
+      "each solved with its own inner KSP/PC (ILU(0) by default).",
+      "PCSetType(pc, PCBJACOBI);",
+      {"Block Jacobi partitions the matrix into diagonal blocks — by "
+       "default one per MPI rank — and applies an independent subdomain "
+       "solve to each block. The default inner configuration on each block "
+       "is KSPPREONLY with PCILU, which is why the PETSc parallel default "
+       "preconditioner is described as 'block Jacobi with ILU(0) on each "
+       "block'. Configure the inner solvers with the -sub_ prefix, for "
+       "example -sub_pc_type lu or -sub_ksp_type gmres.",
+       "Use PCBJacobiGetSubKSP() to access the inner KSP objects from "
+       "code. More overlap-capable domain decomposition is provided by "
+       "PCASM."},
+      {"-pc_bjacobi_blocks <n> : total number of blocks",
+       "-sub_pc_type <type> : preconditioner used on each block",
+       "-sub_ksp_type <type> : Krylov method used on each block"},
+      {"PCASM", "PCILU", "PCJACOBI", "PCBJacobiGetSubKSP"},
+      0.70,
+  });
+
+  add(ApiSpec{
+      "PCILU",
+      ApiKind::PcType,
+      ApiLevel::Beginner,
+      "Incomplete LU factorization preconditioner (ILU(k), default level 0).",
+      "PCSetType(pc, PCILU);",
+      {"ILU computes a sparse approximate LU factorization, dropping fill "
+       "outside a level-of-fill pattern; the default is ILU(0), which "
+       "allows no fill beyond the sparsity pattern of the matrix. Increase "
+       "fill with -pc_factor_levels. ILU runs only on a single process — "
+       "in parallel it appears as the subdomain solver inside PCBJACOBI or "
+       "PCASM. It is the default preconditioner for sequential runs in "
+       "PETSc.",
+       "ILU can fail with zero pivots on indefinite matrices; "
+       "-pc_factor_shift_type nonzero or positive_definite adds a "
+       "stabilizing shift. For symmetric positive definite systems use "
+       "PCICC (incomplete Cholesky) instead."},
+      {"-pc_factor_levels <k> : levels of fill (default 0)",
+       "-pc_factor_shift_type <none,nonzero,positive_definite,inblocks> : "
+       "pivot shifting strategy",
+       "-pc_factor_reuse_ordering : reuse the previous ordering"},
+      {"PCLU", "PCICC", "PCBJACOBI"},
+      0.75,
+  });
+
+  add(ApiSpec{
+      "PCLU",
+      ApiKind::PcType,
+      ApiLevel::Beginner,
+      "Direct solver (full LU factorization) presented as a preconditioner.",
+      "PCSetType(pc, PCLU);",
+      {"PCLU factors the matrix exactly, so combined with KSPPREONLY the "
+       "'iterative' solve is a direct solve: -ksp_type preonly -pc_type lu. "
+       "For parallel runs an external package is required "
+       "(-pc_factor_mat_solver_type mumps, superlu_dist, or umfpack for "
+       "sequential); native PETSc LU is sequential only.",
+       "Direct solves are robust for ill-conditioned systems but memory "
+       "and factorization time grow superlinearly; for 3D PDE problems "
+       "beyond a few hundred thousand unknowns, multigrid or domain "
+       "decomposition usually scales better."},
+      {"-pc_factor_mat_solver_type <petsc,mumps,superlu_dist,umfpack> : "
+       "factorization package",
+       "-pc_factor_mat_ordering_type <nd,rcm,qmd,natural> : fill-reducing "
+       "ordering"},
+      {"PCCHOLESKY", "PCILU", "KSPPREONLY"},
+      0.78,
+  });
+
+  add(ApiSpec{
+      "PCCHOLESKY",
+      ApiKind::PcType,
+      ApiLevel::Beginner,
+      "Direct Cholesky factorization preconditioner for symmetric positive "
+      "definite matrices.",
+      "PCSetType(pc, PCCHOLESKY);",
+      {"Cholesky factorization exploits symmetry to halve the work and "
+       "memory of LU. The matrix must be symmetric (use MATSBAIJ or set "
+       "the symmetry option on MATAIJ); pair with -ksp_type preonly for a "
+       "direct solve of SPD systems."},
+      {"-pc_factor_mat_solver_type <petsc,mumps,cholmod> : factorization "
+       "package"},
+      {"PCLU", "PCICC", "KSPCG"},
+      0.40,
+  });
+
+  add(ApiSpec{
+      "PCICC",
+      ApiKind::PcType,
+      ApiLevel::Intermediate,
+      "Incomplete Cholesky factorization preconditioner for symmetric "
+      "positive definite matrices.",
+      "PCSetType(pc, PCICC);",
+      {"ICC is the symmetric analogue of ILU: an incomplete Cholesky "
+       "factorization with level-of-fill control. It preserves symmetry, "
+       "so it is the natural sequential companion to KSPCG on SPD "
+       "systems. Like ILU it is sequential and appears inside block "
+       "preconditioners for parallel runs."},
+      {"-pc_factor_levels <k> : levels of fill (default 0)"},
+      {"PCILU", "PCCHOLESKY", "KSPCG"},
+      0.30,
+  });
+
+  add(ApiSpec{
+      "PCSOR",
+      ApiKind::PcType,
+      ApiLevel::Beginner,
+      "(Symmetric) successive over-relaxation preconditioning.",
+      "PCSetType(pc, PCSOR);",
+      {"SOR sweeps through the matrix applying Gauss-Seidel-style updates "
+       "with relaxation factor omega (default 1.0, i.e. Gauss-Seidel); "
+       "-pc_sor_symmetric applies forward and backward sweeps, which "
+       "preserves symmetry for use with KSPCG. In parallel, PETSc applies "
+       "SOR locally on each process with Jacobi coupling across process "
+       "boundaries."},
+      {"-pc_sor_omega <omega> : relaxation factor (default 1.0)",
+       "-pc_sor_symmetric : use symmetric SOR (SSOR)",
+       "-pc_sor_its <its> : inner sweep count"},
+      {"PCJACOBI", "PCEISENSTAT"},
+      0.35,
+  });
+
+  add(ApiSpec{
+      "PCASM",
+      ApiKind::PcType,
+      ApiLevel::Intermediate,
+      "Additive Schwarz domain-decomposition preconditioner with "
+      "configurable overlap.",
+      "PCSetType(pc, PCASM);",
+      {"The additive Schwarz method generalizes block Jacobi by letting "
+       "the subdomain blocks overlap (default overlap 1, set with "
+       "-pc_asm_overlap). Each subdomain is solved with its own inner "
+       "KSP/PC configured via the -sub_ prefix. Overlap improves "
+       "convergence at the cost of more communication and duplicated "
+       "work.",
+       "Restricted additive Schwarz (-pc_asm_type restrict, the default) "
+       "skips the interpolation of overlapped values, which both reduces "
+       "communication and — counterintuitively — often converges faster."},
+      {"-pc_asm_overlap <n> : amount of subdomain overlap (default 1)",
+       "-pc_asm_type <basic,restrict,interpolate,none> : Schwarz variant",
+       "-sub_pc_type <type> : subdomain preconditioner"},
+      {"PCBJACOBI", "PCGASM", "PCHPDDM"},
+      0.42,
+  });
+
+  add(ApiSpec{
+      "PCGAMG",
+      ApiKind::PcType,
+      ApiLevel::Intermediate,
+      "Native algebraic multigrid (smoothed aggregation) preconditioner.",
+      "PCSetType(pc, PCGAMG);",
+      {"GAMG builds a multigrid hierarchy algebraically from the matrix "
+       "using smoothed aggregation, requiring no mesh information. For "
+       "elasticity and other vector PDEs, supply the near-nullspace (rigid "
+       "body modes) with MatSetNearNullSpace to get good coarse spaces. "
+       "The default smoother on each level is Chebyshev with Jacobi "
+       "preconditioning, which avoids reductions.",
+       "Key tuning options: -pc_gamg_threshold for dropping weak matrix "
+       "entries during coarsening, and -pc_gamg_aggressive_coarsening for "
+       "faster level reduction. External AMG alternatives include "
+       "PCHYPRE (BoomerAMG) and PCML."},
+      {"-pc_gamg_threshold <t> : drop tolerance for graph coarsening",
+       "-pc_gamg_type <agg,classical,geo> : multigrid flavor",
+       "-pc_mg_levels <n> : maximum number of levels"},
+      {"PCMG", "PCHYPRE", "MatSetNearNullSpace", "KSPCHEBYSHEV"},
+      0.48,
+  });
+
+  add(ApiSpec{
+      "PCMG",
+      ApiKind::PcType,
+      ApiLevel::Advanced,
+      "Geometric multigrid preconditioner framework with user-supplied "
+      "grid hierarchy and transfer operators.",
+      "PCSetType(pc, PCMG);",
+      {"PCMG implements V-, W-, and full-multigrid cycles over a hierarchy "
+       "the user provides (commonly via DMDA/DMPlex refinement). Each "
+       "level has a smoother (default: Chebyshev/Jacobi) configured with "
+       "the -mg_levels_ prefix and the coarse grid is solved directly "
+       "(-mg_coarse_ prefix, default preonly+LU). Multigrid is the only "
+       "class of preconditioners with mesh-independent convergence for "
+       "elliptic problems.",
+       "Set the number of levels with PCMGSetLevels; choose the cycle "
+       "with -pc_mg_cycle_type v or w."},
+      {"-pc_mg_levels <n> : number of levels",
+       "-pc_mg_cycle_type <v,w> : cycle shape",
+       "-mg_levels_ksp_type <type> : smoother Krylov method",
+       "-mg_coarse_pc_type <type> : coarse-grid solver"},
+      {"PCGAMG", "KSPRICHARDSON", "KSPCHEBYSHEV"},
+      0.38,
+  });
+
+  add(ApiSpec{
+      "PCFIELDSPLIT",
+      ApiKind::PcType,
+      ApiLevel::Advanced,
+      "Block preconditioner that splits the system by physical fields "
+      "(e.g. velocity/pressure) with additive, multiplicative, or Schur "
+      "complement coupling.",
+      "PCSetType(pc, PCFIELDSPLIT);",
+      {"FieldSplit is the workhorse for multiphysics saddle-point systems: "
+       "it partitions unknowns into named fields (via index sets or "
+       "DM-provided splits) and composes per-field solvers. The coupling "
+       "is chosen with -pc_fieldsplit_type additive|multiplicative|"
+       "symmetric_multiplicative|schur; the Schur variant exposes "
+       "-pc_fieldsplit_schur_fact_type and preconditioners for the Schur "
+       "complement such as selfp or a user matrix.",
+       "For Stokes problems the canonical configuration is Schur "
+       "factorization with a pressure-mass-matrix preconditioner on the "
+       "Schur block; each split is configured with the "
+       "-fieldsplit_<name>_ prefix."},
+      {"-pc_fieldsplit_type <additive,multiplicative,schur> : coupling",
+       "-pc_fieldsplit_schur_fact_type <diag,lower,upper,full> : Schur "
+       "factorization form",
+       "-pc_fieldsplit_detect_saddle_point : infer the zero-diagonal block"},
+      {"KSPMINRES", "PCSHELL", "MatSchurComplement"},
+      0.36,
+  });
+
+  add(ApiSpec{
+      "PCHYPRE",
+      ApiKind::PcType,
+      ApiLevel::Intermediate,
+      "Interface to the hypre preconditioner suite, most notably the "
+      "BoomerAMG algebraic multigrid.",
+      "PCSetType(pc, PCHYPRE);",
+      {"PCHYPRE wraps the hypre library; -pc_hypre_type boomeramg selects "
+       "the widely used BoomerAMG algebraic multigrid, with euclid, "
+       "parasails, and pilut as other options. BoomerAMG is a strong "
+       "black-box preconditioner for scalar elliptic problems; its many "
+       "parameters are exposed under the -pc_hypre_boomeramg_ prefix.",
+       "PETSc must be configured with --download-hypre to use it. For a "
+       "native alternative without the external dependency, use PCGAMG."},
+      {"-pc_hypre_type <boomeramg,euclid,parasails,pilut> : hypre method",
+       "-pc_hypre_boomeramg_strong_threshold <t> : AMG coarsening "
+       "threshold (0.25 for 2D, 0.5 recommended for 3D)"},
+      {"PCGAMG", "PCML"},
+      0.44,
+  });
+
+  add(ApiSpec{
+      "PCSHELL",
+      ApiKind::PcType,
+      ApiLevel::Intermediate,
+      "User-defined preconditioner supplied as application callbacks.",
+      "PCSetType(pc, PCSHELL);",
+      {"PCSHELL lets the application provide the preconditioner apply "
+       "routine with PCShellSetApply (and optionally setup, destroy, and "
+       "transpose-apply callbacks). Attach application state with "
+       "PCShellSetContext / PCShellGetContext. This is the standard hook "
+       "for physics-based or legacy preconditioners; if the shell "
+       "preconditioner changes between iterations, pair it with a "
+       "flexible method such as KSPFGMRES."},
+      {"-pc_type shell : select (callbacks must be set in code)"},
+      {"PCKSP", "KSPFGMRES", "MATSHELL"},
+      0.28,
+  });
+
+  add(ApiSpec{
+      "PCNONE",
+      ApiKind::PcType,
+      ApiLevel::Beginner,
+      "No preconditioning: the identity preconditioner.",
+      "PCSetType(pc, PCNONE);",
+      {"PCNONE applies the identity, so the Krylov method sees the raw "
+       "operator. Useful for measuring how much a preconditioner helps, "
+       "for debugging, and for well-conditioned systems where "
+       "preconditioning overhead is not repaid. With -pc_type none the "
+       "preconditioned and unpreconditioned residual norms coincide."},
+      {"-pc_type none : disable preconditioning"},
+      {"PCJACOBI", "KSPSetNormType"},
+      0.55,
+  });
+
+  add(ApiSpec{
+      "PCKSP",
+      ApiKind::PcType,
+      ApiLevel::Advanced,
+      "Uses a full inner KSP solve as the preconditioner for an outer "
+      "iteration.",
+      "PCSetType(pc, PCKSP);",
+      {"PCKSP wraps an entire inner Krylov solve (configured under the "
+       "-ksp_ksp_ / -ksp_pc_ prefixes) as the preconditioner application. "
+       "Because the inner solve's effect changes with its convergence "
+       "each outer iteration, the outer method must be flexible: use "
+       "KSPFGMRES or KSPGCR for the outer loop. Inner-outer schemes can "
+       "pay off when a cheap approximate solve captures most of the "
+       "physics."},
+      {"-pc_ksp_ksp_type <type> : inner Krylov method (inner prefix)"},
+      {"KSPFGMRES", "KSPGCR", "PCSHELL"},
+      0.14,
+  });
+
+  return specs;
+}
+
+}  // namespace pkb::corpus::detail

@@ -1,0 +1,123 @@
+#include "corpus/mailing_list.h"
+
+#include <array>
+
+#include "corpus/api_spec.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace pkb::corpus {
+
+namespace {
+
+using pkb::util::Rng;
+
+constexpr std::array<std::string_view, 6> kUserNames = {
+    "grad.student@univ.edu",   "postdoc@lab.gov",
+    "engineer@company.com",    "researcher@institute.org",
+    "phd.candidate@tech.edu",  "scientist@center.ac.uk",
+};
+
+constexpr std::array<std::string_view, 5> kDevNames = {
+    "barry@petsc.dev", "jed@petsc.dev", "hong@petsc.dev",
+    "lois@petsc.dev", "satish@petsc.dev",
+};
+
+constexpr std::array<std::string_view, 5> kAskTemplates = {
+    "Hi all, I am struggling with %s in my application. The documentation "
+    "mentions it but I am not sure when it applies. Any advice?",
+    "Hello PETSc team, quick question about %s - is this the right tool "
+    "for my problem, and what are the pitfalls?",
+    "Dear list, my solver behaves strangely and a colleague suggested "
+    "looking at %s. Could someone explain what it actually does?",
+    "Hi, newcomer here. I read about %s but the terminology is unfamiliar "
+    "to me (my background is in engineering, not numerical analysis).",
+    "Hello, does anyone have experience with %s on large problems? I am "
+    "seeing behavior I do not understand.",
+};
+
+constexpr std::array<std::string_view, 4> kFollowUpTemplates = {
+    "Thanks! That helps. One follow-up: how does this interact with the "
+    "preconditioner choice?",
+    "Appreciated. Is there a runtime option so I can experiment without "
+    "recompiling?",
+    "Thank you. What should I look at if it still does not converge after "
+    "this change?",
+    "Great, that worked. For the archives: the key insight for me was the "
+    "default behavior described below.",
+};
+
+std::string render_thread(const ApiSpec& spec, std::size_t index, Rng& rng) {
+  const std::string_view user = kUserNames[rng.below(kUserNames.size())];
+  const std::string_view dev = kDevNames[rng.below(kDevNames.size())];
+
+  std::string subject =
+      "[petsc-users] " +
+      std::string(rng.chance(0.5) ? "question about " : "help with ") +
+      spec.name;
+
+  std::string md = "# " + subject + "\n\n";
+  md += "Thread " + std::to_string(index) + " from the petsc-users archive.\n\n";
+
+  // User question.
+  const std::string ask = pkb::util::replace_all(
+      std::string(kAskTemplates[rng.below(kAskTemplates.size())]), "%s",
+      spec.name);
+  md += "## From: " + std::string(user) + "\n\n" + ask + "\n\n";
+
+  // Developer answer: summary + one or two notes, informally framed.
+  md += "## From: " + std::string(dev) + "\n\n";
+  md += spec.summary;
+  md += " ";
+  if (!spec.notes.empty()) {
+    md += spec.notes[rng.below(std::min<std::size_t>(spec.notes.size(), 2))];
+  }
+  if (!spec.options.empty() && rng.chance(0.7)) {
+    md += " From the command line: " + spec.options.front() + ".";
+  }
+  md += "\n\n";
+
+  // Optional follow-up round.
+  if (rng.chance(0.5)) {
+    md += "## From: " + std::string(user) + "\n\n" +
+          std::string(kFollowUpTemplates[rng.below(kFollowUpTemplates.size())]) +
+          "\n\n";
+    md += "## From: " + std::string(dev) + "\n\n";
+    if (spec.notes.size() > 1) {
+      md += spec.notes.back();
+    } else if (!spec.see_also.empty()) {
+      md += "See also " + spec.see_also.front() +
+            ", which is usually the next thing to look at.";
+    } else {
+      md += "Run with -ksp_view and -ksp_converged_reason and post the "
+            "output if it still misbehaves.";
+    }
+    md += "\n\n";
+  }
+  return md;
+}
+
+}  // namespace
+
+text::VirtualDir generate_mailing_list_archive(const ArchiveOptions& opts) {
+  text::VirtualDir tree;
+  const auto& table = api_table();
+  Rng rng(opts.seed);
+  // Popular entities draw more list traffic, mirroring the real archive.
+  std::vector<std::size_t> weighted;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const auto copies =
+        static_cast<std::size_t>(1.0 + table[i].popularity * 4.0);
+    for (std::size_t c = 0; c < copies; ++c) weighted.push_back(i);
+  }
+  for (std::size_t t = 0; t < opts.threads; ++t) {
+    const ApiSpec& spec =
+        table[weighted[rng.below(weighted.size())]];
+    tree.push_back(text::VirtualFile{
+        "archives/petsc-users/thread-" + std::to_string(t) + ".md",
+        render_thread(spec, t, rng)});
+  }
+  return tree;
+}
+
+}  // namespace pkb::corpus

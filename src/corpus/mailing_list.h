@@ -1,0 +1,34 @@
+#pragma once
+// Synthetic petsc-users mailing-list archive — the paper's stated future
+// work ("we targeted petsc-users but didn't touch its archives for RAG";
+// "We also want to incorporate additional information as part of
+// PETSc-specific RAG").
+//
+// Threads are generated deterministically from the spec table: a user asks
+// about an entity using imprecise wording, a developer answers with the
+// entity's facts, sometimes with a follow-up round. This is the "unofficial
+// knowledge base" of Fig 1 — informal, redundant with the manual in
+// content, but phrased the way users phrase things, which is precisely why
+// the paper wants it in RAG.
+
+#include <cstdint>
+
+#include "text/document.h"
+
+namespace pkb::corpus {
+
+/// Archive generation options.
+struct ArchiveOptions {
+  /// Number of threads to synthesize.
+  std::size_t threads = 60;
+  /// RNG seed (threads, wording, and follow-ups are all derived from it).
+  std::uint64_t seed = 2025;
+};
+
+/// Generate the archive as Markdown files under
+/// "archives/petsc-users/thread-<n>.md" (one file per thread, ready for the
+/// same loader/splitter pipeline as the documentation).
+[[nodiscard]] text::VirtualDir generate_mailing_list_archive(
+    const ArchiveOptions& opts = {});
+
+}  // namespace pkb::corpus

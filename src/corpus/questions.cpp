@@ -1,0 +1,338 @@
+#include "corpus/questions.h"
+
+namespace pkb::corpus {
+
+namespace {
+
+std::vector<BenchmarkQuestion> build_benchmark() {
+  std::vector<BenchmarkQuestion> qs;
+  auto add = [&qs](BenchmarkQuestion q) {
+    q.id = static_cast<int>(qs.size()) + 1;
+    qs.push_back(std::move(q));
+  };
+
+  add({0,
+       "Which Krylov method should I use when my matrix is symmetric "
+       "positive definite?",
+       {"KSPCG"},
+       {"symmetric positive definite", "short recurrences"},
+       "KSPCG",
+       0.90});
+
+  add({0,
+       "Can I use KSP to solve a system where the matrix is not square, "
+       "only rectangular? Must it be invertible too or does that depend on "
+       "how you're using KSP?",
+       {"KSPLSQR"},
+       {"least squares", "rectangular"},
+       "KSPLSQR",
+       0.18});
+
+  add({0,
+       "Is there a runtime option that reports whether my matrix "
+       "preallocation was sufficient during assembly?",
+       {"-info"},
+       {"malloc", "preallocation"},
+       "-info",
+       0.22});
+
+  add({0,
+       "What is the default restart length of GMRES in PETSc and why does "
+       "restarting matter?",
+       {"30"},
+       {"-ksp_gmres_restart", "memory"},
+       "KSPGMRES",
+       0.88});
+
+  add({0,
+       "How do I change the GMRES restart parameter?",
+       {"-ksp_gmres_restart"},
+       {"KSPGMRESSetRestart"},
+       "-ksp_gmres_restart",
+       0.60});
+
+  add({0,
+       "How do I set the relative convergence tolerance of the linear "
+       "solve, and what is its default value?",
+       {"KSPSetTolerances|-ksp_rtol"},
+       {"1e-5"},
+       "KSPSetTolerances",
+       0.72});
+
+  add({0,
+       "My linear solve stops after thousands of iterations without "
+       "converging. How do I find out why the iteration stopped?",
+       {"converged_reason"},
+       {"KSP_DIVERGED_ITS|DIVERGED_ITS"},
+       "KSPGetConvergedReason",
+       0.55});
+
+  add({0,
+       "How can I print the residual norm at every iteration of the "
+       "solver?",
+       {"-ksp_monitor"},
+       {"preconditioned"},
+       "-ksp_monitor",
+       0.68});
+
+  add({0,
+       "What is the difference between -ksp_monitor and "
+       "-ksp_monitor_true_residual, and which one should I trust?",
+       {"true residual"},
+       {"matrix-vector product|extra cost|adding the cost"},
+       "-ksp_monitor_true_residual",
+       0.35});
+
+  add({0,
+       "My matrix is symmetric but it has both positive and negative "
+       "eigenvalues. CG blows up. What solver is appropriate?",
+       {"KSPMINRES"},
+       {"indefinite", "positive definite"},
+       "KSPMINRES",
+       0.25});
+
+  add({0,
+       "I am solving a large nonsymmetric system and restarted GMRES uses "
+       "too much memory. What is a good alternative with constant memory "
+       "per iteration?",
+       {"KSPBCGS|BiCGStab"},
+       {"short recurrences|constant memory|does not grow"},
+       "KSPBCGS",
+       0.55});
+
+  add({0,
+       "My preconditioner is itself an iterative solve, so its action "
+       "changes every outer iteration. Which Krylov methods tolerate "
+       "that?",
+       {"KSPFGMRES"},
+       {"right preconditioning", "KSPGCR"},
+       "KSPFGMRES",
+       0.35});
+
+  add({0,
+       "How do I use PETSc's KSP interface to do a direct solve with LU "
+       "factorization instead of iterating?",
+       {"preonly"},
+       {"-pc_type lu|PCLU"},
+       "KSPPREONLY",
+       0.58});
+
+  add({0,
+       "In my time-stepping code the previous solution is a great starting "
+       "point. How do I make KSPSolve use it instead of starting from "
+       "zero?",
+       {"KSPSetInitialGuessNonzero|initial_guess_nonzero"},
+       {"starts from|zeroes|zero initial guess"},
+       "KSPSetInitialGuessNonzero",
+       0.42});
+
+  add({0,
+       "After KSPSolve finishes, how do I find out how many iterations it "
+       "took?",
+       {"KSPGetIterationNumber"},
+       {"-ksp_converged_reason|monitor"},
+       "KSPGetIterationNumber",
+       0.52});
+
+  add({0,
+       "How can I switch between different Krylov solvers from the command "
+       "line without recompiling my application?",
+       {"-ksp_type"},
+       {"KSPSetFromOptions"},
+       "-ksp_type",
+       0.75});
+
+  add({0,
+       "KSPSetOperators takes two matrices, Amat and Pmat. What is the "
+       "difference and when would I pass different matrices?",
+       {"preconditioner"},
+       {"MATSHELL|matrix-free"},
+       "KSPSetOperators",
+       0.40});
+
+  add({0,
+       "How do I see exactly which solver, tolerances, and preconditioner "
+       "my run actually used, including the inner sub-solvers?",
+       {"-ksp_view"},
+       {"sub-solver|nested|inner"},
+       "-ksp_view",
+       0.50});
+
+  add({0,
+       "What is the difference between left and right preconditioning in "
+       "KSP and how do I switch sides?",
+       {"pc_side"},
+       {"true residual", "preconditioned"},
+       "KSPSetPCSide",
+       0.32});
+
+  add({0,
+       "Which residual norm does GMRES minimize and report by default — "
+       "the true one or something else?",
+       {"preconditioned residual"},
+       {"left", "KSPSetNormType|-ksp_norm_type|-ksp_pc_side right"},
+       "KSPGMRES",
+       0.30});
+
+  add({0,
+       "I need to solve the same linear system with two hundred different "
+       "right-hand sides. Solving them one by one is slow. Is there a "
+       "better way?",
+       {"KSPMatSolve"},
+       {"columns", "reuse"},
+       "KSPMatSolve",
+       0.12});
+
+  add({0,
+       "My matrix changes only slightly at each Newton step. Can I keep "
+       "the old preconditioner instead of rebuilding it every solve?",
+       {"KSPSetReusePreconditioner|reuse_preconditioner"},
+       {"iterations|rebuild"},
+       "KSPSetReusePreconditioner",
+       0.20});
+
+  add({0,
+       "What damping factor does the Richardson iteration use by default "
+       "in PETSc, and how do I change it?",
+       {"1.0"},
+       {"-ksp_richardson_scale|KSPRichardsonSetScale"},
+       "KSPRICHARDSON",
+       0.35});
+
+  add({0,
+       "When is the Chebyshev method a good choice, and what extra "
+       "information does it need from me?",
+       {"eigenvalue"},
+       {"smoother", "multigrid|reduction-free|no inner products"},
+       "KSPCHEBYSHEV",
+       0.28});
+
+  add({0,
+       "Is there a KSP that applies conjugate gradient to the normal "
+       "equations, and what is the catch?",
+       {"KSPCGNE"},
+       {"condition number", "KSPLSQR"},
+       "KSPCGNE",
+       0.10});
+
+  add({0,
+       "If I don't choose anything, which Krylov method and which "
+       "preconditioner does PETSc use by default?",
+       {"GMRES", "ILU"},
+       {"block Jacobi|PCBJACOBI|bjacobi"},
+       "KSP",
+       0.70});
+
+  add({0,
+       "I want to stop the linear solve early based on my own error "
+       "estimator rather than the residual norm. What is the supported "
+       "way?",
+       {"KSPSetConvergenceTest"},
+       {"KSPConvergedReason|reason"},
+       "KSPSetConvergenceTest",
+       0.18});
+
+  add({0,
+       "How do I attach my own callback that gets called with the residual "
+       "norm at every iteration from code, not the command line?",
+       {"KSPMonitorSet"},
+       {"iteration number|residual norm"},
+       "KSPMonitorSet",
+       0.33});
+
+  add({0,
+       "Can I use KSPCG when my matrix is nonsymmetric or only "
+       "approximately symmetric?",
+       {"KSPGMRES|KSPBCGS"},
+       {"requires a symmetric|requires symmetric|break down"},
+       "KSPCG",
+       0.48});
+
+  add({0,
+       "What does -ksp_norm_type unpreconditioned actually change about "
+       "the solve?",
+       {"true residual"},
+       {"KSPSetNormType", "extra|cost"},
+       "-ksp_norm_type",
+       0.15});
+
+  add({0,
+       "I think I misspelled one of my solver options and it silently did "
+       "nothing. How do I detect that?",
+       {"-options_left"},
+       {"PetscFinalize|exit"},
+       "-options_left",
+       0.38});
+
+  add({0,
+       "What does the ell parameter of BiCGStab(ell) control and what is "
+       "its default?",
+       {"2"},
+       {"-ksp_bcgsl_ell|KSPBCGSLSetEll", "robust"},
+       "KSPBCGSL",
+       0.10});
+
+  add({0,
+       "I am solving a pure Neumann pressure Poisson problem, so my matrix "
+       "is singular with the constant null space. How do I make the Krylov "
+       "solver handle this?",
+       {"MatSetNullSpace"},
+       {"MatNullSpaceCreate|constant", "project"},
+       "MatSetNullSpace",
+       0.24});
+
+  add({0,
+       "How do I get a performance summary showing where the time goes in "
+       "my run — per event, matrix products, preconditioner applications, "
+       "reductions?",
+       {"-log_view"},
+       {"PetscFinalize|event|stage"},
+       "-log_view",
+       0.45});
+
+  add({0,
+       "BiCGStab's residual history is very erratic on my problem. Is "
+       "there a transpose-free method with smoother convergence?",
+       {"KSPTFQMR"},
+       {"quasi-minimiz|smoother"},
+       "KSPTFQMR",
+       0.14});
+
+  add({0,
+       "Both GCR and FGMRES are described as flexible methods. How do I "
+       "choose between them?",
+       {"right preconditioning|variable preconditioning|flexible"},
+       {"solution and residual|every iteration"},
+       "KSPGCR",
+       0.12});
+
+  add({0,
+       "How do I put a hard cap on the number of Krylov iterations, and "
+       "what happens when the cap is hit?",
+       {"-ksp_max_it|KSPSetTolerances"},
+       {"KSP_DIVERGED_ITS|DIVERGED_ITS", "10000"},
+       "-ksp_max_it",
+       0.50});
+
+  return qs;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkQuestion>& krylov_benchmark() {
+  static const std::vector<BenchmarkQuestion> qs = build_benchmark();
+  return qs;
+}
+
+const BenchmarkQuestion& kspburb_question() {
+  static const BenchmarkQuestion q = {
+      100,
+      "What does KSPBurb do?",
+      {"no PETSc function|no such|not a PETSc|does not exist|there is no"},
+      {"KSP"},
+      "KSPBurb",
+      0.0};
+  return q;
+}
+
+}  // namespace pkb::corpus

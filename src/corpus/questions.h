@@ -1,0 +1,46 @@
+#pragma once
+// The 37-question Krylov-methods benchmark (§V-A of the paper) with
+// computable ground truth.
+//
+// The paper's benchmark is 37 questions on the use of Krylov methods within
+// PETSc, blind-scored by human experts on the 0-4 rubric of Table I. Our
+// generated corpus gives us the luxury the paper did not have: we know
+// exactly which facts a correct answer must contain, so the rubric becomes a
+// deterministic function (see eval/rubric.h).
+//
+// Fact syntax: each entry is a '|'-separated list of alternatives; the fact
+// counts as present if ANY alternative occurs (case-insensitively) in the
+// answer.
+
+#include <string>
+#include <vector>
+
+namespace pkb::corpus {
+
+/// One benchmark question with its scoring key.
+struct BenchmarkQuestion {
+  int id = 0;
+  /// The user's question, phrased as users phrase things (sometimes with
+  /// the official terminology, sometimes with application-domain wording
+  /// that does not match the docs — those are the retrieval-hard cases).
+  std::string question;
+  /// Facts that must ALL be present for a score of 3 ("clear and correct").
+  std::vector<std::string> required_facts;
+  /// Additional facts that must ALL be present (on top of required) for a
+  /// score of 4 ("ideal answer, close to what an expert would respond").
+  std::vector<std::string> ideal_facts;
+  /// The API entity whose manual page decides the question.
+  std::string decisive_symbol;
+  /// Pretraining-exposure proxy for this topic in [0,1]; drives how well the
+  /// no-RAG baseline can answer from parametric memory.
+  double popularity = 0.5;
+};
+
+/// The 37 benchmark questions in stable order (ids 1..37).
+[[nodiscard]] const std::vector<BenchmarkQuestion>& krylov_benchmark();
+
+/// The adversarial out-of-benchmark question from §V-B: a fictitious solver
+/// name following the KSP naming convention.
+[[nodiscard]] const BenchmarkQuestion& kspburb_question();
+
+}  // namespace pkb::corpus

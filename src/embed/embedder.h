@@ -1,0 +1,78 @@
+#pragma once
+// Embedding models.
+//
+// The paper evaluates several embedding models (OpenAI text-embedding-3-large
+// performing best). We hand-roll four families spanning the same
+// quality/speed/semantics trade-off space, all behind one interface:
+//
+//   * TfidfEmbedder     — sparse-in-spirit lexical embedding (exact terms)
+//   * HashEmbedder      — hashing-trick bag of words, fixed dimension
+//   * LsaEmbedder       — dense semantic embedding via truncated SVD of the
+//                         TF-IDF matrix (the "neural-like" model: lossy,
+//                         captures topical similarity, misses exact terms)
+//   * CharNgramEmbedder — hashed character n-grams (robust to typos and
+//                         API-symbol morphology)
+//
+// All embedders L2-normalize their output so inner product == cosine.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/document.h"
+
+namespace pkb::embed {
+
+/// Dense embedding vector.
+using Vector = std::vector<float>;
+
+/// Inner product of two equal-length vectors.
+[[nodiscard]] float dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+[[nodiscard]] float norm(const Vector& v);
+
+/// Scale to unit norm (no-op on the zero vector).
+void l2_normalize(Vector& v);
+
+/// Cosine similarity in [-1, 1]; 0 if either vector is zero.
+[[nodiscard]] float cosine(const Vector& a, const Vector& b);
+
+/// Common interface. Lifecycle: construct -> fit(corpus) -> embed(text).
+/// fit() may be a no-op for models without corpus statistics.
+class Embedder {
+ public:
+  virtual ~Embedder() = default;
+
+  /// Stable model identifier, e.g. "sim-tfidf".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Output dimensionality (valid after fit()).
+  [[nodiscard]] virtual std::size_t dimension() const = 0;
+
+  /// Learn corpus statistics (vocabulary, IDF, SVD basis, ...).
+  virtual void fit(const std::vector<text::Document>& docs) = 0;
+
+  /// Embed one text. Must be called after fit(). Thread-safe.
+  [[nodiscard]] virtual Vector embed(std::string_view text) const = 0;
+
+  /// Embed many texts in parallel (uses the global thread pool).
+  [[nodiscard]] std::vector<Vector> embed_batch(
+      std::span<const text::Document> docs) const;
+};
+
+/// Create an embedder by registry name:
+///   "sim-tfidf", "sim-hash-512", "sim-lsa-64", "sim-charngram-512",
+/// plus the paper-flavored aliases
+///   "sim-embed-3-large" (= tfidf: the strongest retrieval model here),
+///   "sim-embed-3-small" (= lsa-64),
+///   "sim-embed-ada"     (= hash-512).
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<Embedder> make_embedder(std::string_view name);
+
+/// All registry names (canonical ones first, then aliases).
+[[nodiscard]] std::vector<std::string> embedder_registry();
+
+}  // namespace pkb::embed

@@ -1,0 +1,75 @@
+#include "embed/hashing.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "text/tokenizer.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace pkb::embed {
+
+HashEmbedder::HashEmbedder(std::size_t dim) : dim_(dim) {
+  if (dim_ == 0) throw std::invalid_argument("HashEmbedder: dim must be > 0");
+}
+
+std::string HashEmbedder::name() const {
+  return "sim-hash-" + std::to_string(dim_);
+}
+
+void HashEmbedder::fit(const std::vector<text::Document>& docs) {
+  (void)docs;  // stateless model
+}
+
+Vector HashEmbedder::embed(std::string_view text) const {
+  std::unordered_map<std::string, float> tf;
+  for (std::string& tok : text::tokens_of(text)) tf[std::move(tok)] += 1.0f;
+  Vector v(dim_, 0.0f);
+  for (const auto& [term, count] : tf) {
+    const std::uint64_t h = pkb::util::fnv1a64(term);
+    const std::size_t bucket = h % dim_;
+    const float sign = ((h >> 32) & 1u) != 0 ? 1.0f : -1.0f;
+    v[bucket] += sign * (1.0f + std::log(count));
+  }
+  l2_normalize(v);
+  return v;
+}
+
+CharNgramEmbedder::CharNgramEmbedder(std::size_t dim, std::size_t lo,
+                                     std::size_t hi)
+    : dim_(dim), lo_(lo), hi_(hi) {
+  if (dim_ == 0 || lo_ == 0 || hi_ < lo_) {
+    throw std::invalid_argument("CharNgramEmbedder: bad parameters");
+  }
+}
+
+std::string CharNgramEmbedder::name() const {
+  return "sim-charngram-" + std::to_string(dim_);
+}
+
+void CharNgramEmbedder::fit(const std::vector<text::Document>& docs) {
+  (void)docs;  // stateless model
+}
+
+Vector CharNgramEmbedder::embed(std::string_view text) const {
+  Vector v(dim_, 0.0f);
+  for (const std::string& tok : text::tokens_of(text)) {
+    // Boundary markers make prefixes/suffixes distinctive.
+    const std::string padded = "^" + tok + "$";
+    for (std::size_t n = lo_; n <= hi_ && n <= padded.size(); ++n) {
+      for (std::size_t i = 0; i + n <= padded.size(); ++i) {
+        const std::uint64_t h =
+            pkb::util::fnv1a64(std::string_view(padded).substr(i, n)) ^
+            (0x9e3779b97f4a7c15ULL * n);
+        const std::size_t bucket = h % dim_;
+        const float sign = ((h >> 32) & 1u) != 0 ? 1.0f : -1.0f;
+        v[bucket] += sign;
+      }
+    }
+  }
+  l2_normalize(v);
+  return v;
+}
+
+}  // namespace pkb::embed

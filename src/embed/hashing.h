@@ -1,0 +1,44 @@
+#pragma once
+// Hashing-trick embedders: fixed-dimension bag-of-words and character
+// n-grams. No fit() statistics required (dimension fixed at construction),
+// which models embedding APIs that work out of the box.
+
+#include "embed/embedder.h"
+
+namespace pkb::embed {
+
+/// Hashed bag-of-words with signed hashing (each term hashes to a bucket and
+/// a +-1 sign, which unbiases collisions).
+class HashEmbedder final : public Embedder {
+ public:
+  explicit HashEmbedder(std::size_t dim = 512);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t dimension() const override { return dim_; }
+  void fit(const std::vector<text::Document>& docs) override;
+  [[nodiscard]] Vector embed(std::string_view text) const override;
+
+ private:
+  std::size_t dim_;
+};
+
+/// Hashed character n-grams (n in [lo, hi]) over the lowercased text with
+/// word-boundary markers. Tolerant of typos and of API-symbol morphology
+/// ("KSPGmres" ~ "KSPGMRES").
+class CharNgramEmbedder final : public Embedder {
+ public:
+  CharNgramEmbedder(std::size_t dim = 512, std::size_t lo = 3,
+                    std::size_t hi = 5);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t dimension() const override { return dim_; }
+  void fit(const std::vector<text::Document>& docs) override;
+  [[nodiscard]] Vector embed(std::string_view text) const override;
+
+ private:
+  std::size_t dim_;
+  std::size_t lo_;
+  std::size_t hi_;
+};
+
+}  // namespace pkb::embed

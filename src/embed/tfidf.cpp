@@ -1,0 +1,99 @@
+#include "embed/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+
+namespace pkb::embed {
+
+void Vocabulary::fit(const std::vector<text::Document>& docs,
+                     std::size_t min_df) {
+  terms_.clear();
+  doc_freq_.clear();
+  index_.clear();
+  doc_count_ = docs.size();
+
+  std::unordered_map<std::string, std::size_t> df;
+  for (const text::Document& doc : docs) {
+    std::unordered_set<std::string> seen;
+    for (std::string& tok : text::tokens_of(doc.text)) {
+      seen.insert(std::move(tok));
+    }
+    for (const std::string& term : seen) ++df[term];
+  }
+  // Sort terms for bit-for-bit determinism of term ids across runs.
+  std::vector<std::pair<std::string, std::size_t>> kept;
+  kept.reserve(df.size());
+  for (auto& [term, count] : df) {
+    if (count >= min_df) kept.emplace_back(term, count);
+  }
+  std::sort(kept.begin(), kept.end());
+  terms_.reserve(kept.size());
+  doc_freq_.reserve(kept.size());
+  for (auto& [term, count] : kept) {
+    index_.emplace(term, terms_.size());
+    terms_.push_back(term);
+    doc_freq_.push_back(count);
+  }
+}
+
+std::size_t Vocabulary::id_of(const std::string& term) const {
+  auto it = index_.find(term);
+  return it == index_.end() ? npos : it->second;
+}
+
+float Vocabulary::idf(std::size_t term_id) const {
+  const double n = static_cast<double>(doc_count_);
+  const double df = static_cast<double>(doc_freq_.at(term_id));
+  return static_cast<float>(std::log((1.0 + n) / (1.0 + df)) + 1.0);
+}
+
+float Vocabulary::idf_of(const std::string& term) const {
+  const std::size_t id = id_of(term);
+  return id == npos ? 0.0f : idf(id);
+}
+
+const std::string& Vocabulary::term(std::size_t id) const {
+  return terms_.at(id);
+}
+
+std::vector<std::pair<std::size_t, float>> Vocabulary::tfidf(
+    std::string_view text) const {
+  std::unordered_map<std::size_t, float> tf;
+  for (const std::string& tok : text::tokens_of(text)) {
+    const std::size_t id = id_of(tok);
+    if (id != npos) tf[id] += 1.0f;
+  }
+  std::vector<std::pair<std::size_t, float>> out;
+  out.reserve(tf.size());
+  double norm_sq = 0.0;
+  for (const auto& [id, count] : tf) {
+    // Sublinear term frequency damps long documents.
+    const float w = (1.0f + std::log(count)) * idf(id);
+    out.emplace_back(id, w);
+    norm_sq += static_cast<double>(w) * w;
+  }
+  if (norm_sq > 0.0) {
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (auto& [id, w] : out) w *= inv;
+  }
+  return out;
+}
+
+void TfidfEmbedder::fit(const std::vector<text::Document>& docs) {
+  vocab_.fit(docs, min_df_);
+}
+
+Vector TfidfEmbedder::embed(std::string_view text) const {
+  if (vocab_.size() == 0) {
+    throw std::logic_error("TfidfEmbedder::embed called before fit()");
+  }
+  Vector v(vocab_.size(), 0.0f);
+  for (const auto& [id, w] : vocab_.tfidf(text)) v[id] = w;
+  return v;  // tfidf() already L2-normalizes
+}
+
+}  // namespace pkb::embed

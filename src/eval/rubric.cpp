@@ -1,0 +1,90 @@
+#include "eval/rubric.h"
+
+#include "corpus/api_spec.h"
+#include "text/tokenizer.h"
+#include "util/strings.h"
+
+namespace pkb::eval {
+
+bool fact_present(std::string_view answer, std::string_view fact) {
+  for (std::string_view alt : pkb::util::split(fact, '|')) {
+    if (pkb::util::icontains(answer, pkb::util::trim(alt))) return true;
+  }
+  return false;
+}
+
+RubricVerdict score_answer(const corpus::BenchmarkQuestion& q,
+                           std::string_view answer) {
+  RubricVerdict v;
+
+  // 0: nonsensical / empty.
+  if (pkb::util::trim(answer).size() < 30) {
+    v.score = 0;
+    v.justification = "Empty or nonsensical answer.";
+    return v;
+  }
+
+  // Hallucination detection: API-shaped symbols that name nothing real and
+  // did not come from the question itself.
+  const text::TokenizedText at = text::tokenize(answer);
+  for (const std::string& symbol : at.symbols) {
+    if (corpus::is_known_symbol(symbol)) continue;
+    if (pkb::util::icontains(q.question, symbol)) continue;
+    v.fabricated_symbols.push_back(symbol);
+  }
+
+  // Fact coverage.
+  std::size_t required_present = 0;
+  for (const std::string& fact : q.required_facts) {
+    if (fact_present(answer, fact)) {
+      ++required_present;
+    } else {
+      v.missing_required.push_back(fact);
+    }
+  }
+  for (const std::string& fact : q.ideal_facts) {
+    if (!fact_present(answer, fact)) v.missing_ideal.push_back(fact);
+  }
+  const bool all_required = v.missing_required.empty();
+  const bool all_ideal = v.missing_ideal.empty();
+
+  if (!v.fabricated_symbols.empty()) {
+    v.score = 1;
+    v.justification = "Hallucination: the answer invents '" +
+                      v.fabricated_symbols.front() +
+                      "', which does not exist in PETSc.";
+    return v;
+  }
+  if (all_required && all_ideal) {
+    v.score = 4;
+    v.justification =
+        "Ideal: recommends the right functionality with the key details an "
+        "expert would add.";
+    return v;
+  }
+  if (all_required) {
+    v.score = 3;
+    v.justification = "Clear and correct; missing expert detail (" +
+                      pkb::util::ellipsize(v.missing_ideal.front(), 40) + ").";
+    return v;
+  }
+  const bool half_required =
+      required_present * 2 >= q.required_facts.size() && required_present > 0;
+  if (half_required) {
+    v.score = 2;
+    v.justification = "Partially correct; does not state " +
+                      pkb::util::ellipsize(v.missing_required.front(), 40) +
+                      ".";
+    return v;
+  }
+  v.score = 1;
+  v.justification = "Does not answer the question: missing " +
+                    pkb::util::ellipsize(v.missing_required.empty()
+                                             ? std::string("the key facts")
+                                             : v.missing_required.front(),
+                                         40) +
+                    ".";
+  return v;
+}
+
+}  // namespace pkb::eval

@@ -1,0 +1,44 @@
+#pragma once
+// The Table I rubric, made computable.
+//
+//   0: Nonsensical answer
+//   1: Incorrect or inaccurate statements (hallucinations) in the answer
+//   2: Correct material with only minor inaccuracies
+//   3: Answer is clear and correct
+//   4: Ideal answer, close to what an expert would respond
+//
+// With the generated corpus we know each question's required and ideal
+// facts, and the full universe of real API symbols — so hallucinations are
+// detectable exactly (any API-shaped symbol in the answer that names no real
+// entity and was not part of the question itself).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/questions.h"
+
+namespace pkb::eval {
+
+/// The scored verdict for one answer.
+struct RubricVerdict {
+  int score = 0;  ///< 0..4
+  /// Facts (from required/ideal) that the answer was missing.
+  std::vector<std::string> missing_required;
+  std::vector<std::string> missing_ideal;
+  /// API-shaped symbols in the answer that name no real PETSc entity.
+  std::vector<std::string> fabricated_symbols;
+  /// One-line human-readable justification (mirrors the paper's scorer
+  /// justifications in Figs 7/8).
+  std::string justification;
+};
+
+/// True when `fact` (a '|'-separated alternative list) occurs in `answer`
+/// (case-insensitive substring on any alternative).
+[[nodiscard]] bool fact_present(std::string_view answer, std::string_view fact);
+
+/// Score one answer against one question's key.
+[[nodiscard]] RubricVerdict score_answer(const corpus::BenchmarkQuestion& q,
+                                         std::string_view answer);
+
+}  // namespace pkb::eval

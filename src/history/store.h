@@ -1,0 +1,100 @@
+#pragma once
+// Interaction-history database (§III-F of the paper): "a detailed,
+// manipulatable, searchable database of all interactions with all the LLMs".
+//
+// Stores every question/response with the models used, the generated
+// prompts, timestamps, and latencies, and implements the blind-scoring
+// workflow: scorers see anonymized responses (no model/pipeline fields) in a
+// shuffled order and assign rubric scores, which are recorded back.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace pkb::history {
+
+/// One rubric score assigned by one scorer.
+struct ScoreRecord {
+  std::string scorer;
+  int score = -1;  ///< 0..4 per Table I
+  std::string notes;
+};
+
+/// One LLM (or human-developer) interaction.
+struct InteractionRecord {
+  std::uint64_t id = 0;           ///< assigned by the store
+  double timestamp = 0.0;         ///< simulation seconds
+  std::string question;
+  std::string response;
+  std::string model;              ///< continuation model name ("" = human)
+  std::string embedding_model;    ///< "" when no RAG
+  std::string reranker;           ///< "" when no reranking
+  std::string pipeline;           ///< "baseline" | "rag" | "rag+rerank" | ...
+  std::string prompt;             ///< the full generated prompt
+  std::vector<std::string> context_ids;
+  double latency_seconds = 0.0;
+  std::vector<ScoreRecord> scores;
+};
+
+/// An anonymized item handed to a blind scorer: no model/pipeline fields.
+struct BlindItem {
+  std::uint64_t record_id = 0;
+  std::string question;
+  std::string response;
+};
+
+/// The interaction database.
+class HistoryStore {
+ public:
+  /// Append a record; returns its assigned id.
+  std::uint64_t add(InteractionRecord record);
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// All records in insertion order.
+  [[nodiscard]] const std::vector<InteractionRecord>& records() const {
+    return records_;
+  }
+
+  /// Record by id; nullptr when absent.
+  [[nodiscard]] const InteractionRecord* get(std::uint64_t id) const;
+
+  /// Case-insensitive substring search over questions and responses.
+  [[nodiscard]] std::vector<const InteractionRecord*> search(
+      std::string_view needle) const;
+
+  /// All records of a pipeline (e.g. "rag+rerank").
+  [[nodiscard]] std::vector<const InteractionRecord*> by_pipeline(
+      std::string_view pipeline) const;
+
+  /// Build a blind-scoring batch: all records matching `pipeline` ("" = all),
+  /// anonymized and shuffled deterministically by `seed`.
+  [[nodiscard]] std::vector<BlindItem> blind_batch(std::string_view pipeline,
+                                                   std::uint64_t seed) const;
+
+  /// Record a scorer's verdict on a record. Returns false for unknown ids or
+  /// out-of-range scores.
+  bool record_score(std::uint64_t record_id, ScoreRecord score);
+
+  /// Mean score of a record across scorers; nullopt when unscored.
+  [[nodiscard]] std::optional<double> mean_score(std::uint64_t record_id) const;
+
+  /// JSON round-trip for persistence.
+  [[nodiscard]] pkb::util::Json to_json() const;
+  static HistoryStore from_json(const pkb::util::Json& j);
+
+  /// File persistence (JSON, pretty-printed).
+  void save(const std::string& path) const;
+  static HistoryStore load(const std::string& path);
+
+ private:
+  std::vector<InteractionRecord> records_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace pkb::history

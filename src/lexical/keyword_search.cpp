@@ -1,0 +1,48 @@
+#include "lexical/keyword_search.h"
+
+#include "corpus/api_spec.h"
+#include "text/tokenizer.h"
+
+namespace pkb::lexical {
+
+SymbolIndex::SymbolIndex(const std::vector<text::Document>& chunks) {
+  // Map manual-page path -> chunk indices.
+  std::unordered_map<std::string, std::vector<std::size_t>> by_source;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    by_source[std::string(chunks[i].meta("source"))].push_back(i);
+  }
+  for (const corpus::ApiSpec& spec : corpus::api_table()) {
+    auto it = by_source.find(corpus::manual_page_path(spec));
+    if (it == by_source.end()) continue;
+    by_symbol_.emplace(spec.name, it->second);
+  }
+}
+
+std::vector<KeywordHit> SymbolIndex::lookup(std::string_view query,
+                                            bool fuzzy) const {
+  std::vector<KeywordHit> hits;
+  const text::TokenizedText tt = text::tokenize(query);
+  for (const std::string& symbol : tt.symbols) {
+    KeywordHit hit;
+    hit.symbol = symbol;
+    const corpus::ApiSpec* spec = corpus::find_spec(symbol);
+    if (spec == nullptr && fuzzy) {
+      spec = corpus::find_spec_fuzzy(symbol);
+    }
+    if (spec != nullptr) {
+      hit.resolved = spec->name;
+      hit.page = corpus::manual_page_path(*spec);
+      auto it = by_symbol_.find(spec->name);
+      if (it != by_symbol_.end()) hit.chunks = it->second;
+    }
+    hits.push_back(std::move(hit));
+  }
+  return hits;
+}
+
+std::vector<std::size_t> SymbolIndex::chunks_of(std::string_view symbol) const {
+  auto it = by_symbol_.find(std::string(symbol));
+  return it == by_symbol_.end() ? std::vector<std::size_t>{} : it->second;
+}
+
+}  // namespace pkb::lexical

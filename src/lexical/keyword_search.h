@@ -1,0 +1,53 @@
+#pragma once
+// PETSc-specific keyword-search augmentation (§III-C of the paper):
+// "Whenever a word in the query has a PETSc manual page associated with it,
+//  for example KSPSolve, the manual page is added to the material that RAG
+//  has found."
+//
+// SymbolIndex maps API symbols (exact or fuzzy) found in a query to the
+// manual-page documents of the chunked corpus.
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/document.h"
+
+namespace pkb::lexical {
+
+/// One keyword hit: a query symbol resolved to manual-page chunks.
+struct KeywordHit {
+  std::string symbol;             ///< the symbol as written in the query
+  std::string resolved;           ///< the canonical symbol it resolved to
+  std::string page;               ///< manual page path
+  std::vector<std::size_t> chunks;  ///< chunk indices in the collection
+};
+
+/// Maps API symbols to the corpus chunks of their manual pages.
+class SymbolIndex {
+ public:
+  /// `chunks` is the chunked corpus; a chunk belongs to a symbol's page when
+  /// its metadata["source"] equals the symbol's manual-page path.
+  /// Symbol->page mapping comes from the corpus ApiSpec table.
+  explicit SymbolIndex(const std::vector<text::Document>& chunks);
+
+  /// Extract API-shaped symbols from `query` and resolve each to manual-page
+  /// chunks. Unknown symbols resolve to no page but are still reported (the
+  /// LLM needs to know the user asked about something nonexistent).
+  /// `fuzzy` enables edit-distance-2 resolution of typos.
+  [[nodiscard]] std::vector<KeywordHit> lookup(std::string_view query,
+                                               bool fuzzy = true) const;
+
+  /// All chunk indices for one canonical symbol (empty when unknown).
+  [[nodiscard]] std::vector<std::size_t> chunks_of(
+      std::string_view symbol) const;
+
+  /// Number of symbols with at least one chunk.
+  [[nodiscard]] std::size_t symbol_count() const { return by_symbol_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::vector<std::size_t>> by_symbol_;
+};
+
+}  // namespace pkb::lexical

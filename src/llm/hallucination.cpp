@@ -1,0 +1,84 @@
+#include "llm/hallucination.h"
+
+#include <array>
+
+#include "util/strings.h"
+
+namespace pkb::llm {
+
+namespace {
+
+constexpr std::array<std::string_view, 6> kMethodFamilies = {
+    "a block version of the unpreconditioned Richardson iterative method",
+    "a communication-avoiding variant of the restarted GMRES algorithm",
+    "a two-level additive Schwarz smoother specialized for banded systems",
+    "an adaptive-order Chebyshev iteration with automatic spectrum tracking",
+    "a right-preconditioned conjugate residual method for shifted systems",
+    "a deflation-accelerated BiCGStab variant for sequences of systems",
+};
+
+constexpr std::array<std::string_view, 5> kFakeSuffixes = {
+    "Blocked", "Deflated", "Adaptive", "Fused", "Batched",
+};
+
+constexpr std::array<std::string_view, 4> kFakeOptionStems = {
+    "-ksp_burb_factor", "-ksp_auto_restart_policy", "-ksp_spectrum_window",
+    "-ksp_deflate_rank",
+};
+
+}  // namespace
+
+std::string mint_fake_symbol(std::string_view base, pkb::util::Rng& rng) {
+  std::string stem(base);
+  // Strip trailing lowercase to keep the class prefix readable.
+  if (stem.empty()) stem = "KSP";
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const std::string candidate =
+        stem + std::string(kFakeSuffixes[rng.below(kFakeSuffixes.size())]);
+    if (corpus::find_spec(candidate) == nullptr &&
+        !corpus::is_known_symbol(candidate)) {
+      return candidate;
+    }
+  }
+  return stem + "Xq";  // astronomically unlikely fallback
+}
+
+std::string fabricate_symbol_answer(std::string_view symbol,
+                                    pkb::util::Rng& rng) {
+  const std::string_view family =
+      kMethodFamilies[rng.below(kMethodFamilies.size())];
+  const std::string_view fake_option =
+      kFakeOptionStems[rng.below(kFakeOptionStems.size())];
+  std::string out;
+  out += std::string(symbol) +
+         " is an implementation of a Krylov subspace method in PETSc used "
+         "to solve systems of linear equations. Specifically, " +
+         std::string(symbol) + " is " + std::string(family) +
+         ". It is selected with -ksp_type " +
+         pkb::util::to_lower(symbol.size() > 3 ? symbol.substr(3) : symbol) +
+         " and tuned with the " + std::string(fake_option) +
+         " option. It converges for any nonsingular matrix and is often "
+         "faster than GMRES for large problems.";
+  return out;
+}
+
+std::string fabricate_topic_answer(std::string_view question,
+                                   const corpus::ApiSpec* nearby,
+                                   pkb::util::Rng& rng) {
+  (void)question;
+  std::string anchor = nearby != nullptr ? nearby->name : "KSPSolve";
+  const std::string fake = mint_fake_symbol(
+      anchor.size() >= 3 && anchor[0] != '-' ? anchor : "KSP", rng);
+  std::string out;
+  out += "You can handle this directly with " + fake +
+         ", which PETSc provides for exactly this situation. Call it "
+         "before the solve";
+  if (nearby != nullptr) {
+    out += " (it works together with " + nearby->name + ")";
+  }
+  out += ". The default behavior is enabled automatically, so in most "
+         "cases no further configuration is needed.";
+  return out;
+}
+
+}  // namespace pkb::llm

@@ -1,0 +1,42 @@
+#pragma once
+// Plausible-nonsense synthesis: what a mainstream LLM produces when asked
+// about an entity it has (almost) no training signal for. Reproduces the
+// paper's §V-B observation:
+//
+//   "KSPBurb is an implementation of a Krylov subspace method in PETSc used
+//    to solve systems of linear equations. Specifically, KSPBurb is a block
+//    version of the unpreconditioned Richardson iterative method ..."
+//
+// The fabrications follow PETSc naming conventions (which is what makes them
+// dangerous) and always contain at least one invented symbol or one wrong
+// claim, so the rubric scorer can detect them the way the paper's human
+// scorers did.
+
+#include <string>
+#include <string_view>
+
+#include "corpus/api_spec.h"
+#include "util/rng.h"
+
+namespace pkb::llm {
+
+/// Fabricate a confident, wrong answer about `symbol` (which may be a real
+/// but unknown-to-the-model name, or a fictitious one like "KSPBurb").
+/// Deterministic for a given (symbol, rng state).
+[[nodiscard]] std::string fabricate_symbol_answer(std::string_view symbol,
+                                                  pkb::util::Rng& rng);
+
+/// Fabricate a confidently wrong answer for a topic question where the
+/// model's knowledge is too thin: misattributes behaviour from a related
+/// entity and mints a non-existent option or function name.
+[[nodiscard]] std::string fabricate_topic_answer(std::string_view question,
+                                                 const corpus::ApiSpec* nearby,
+                                                 pkb::util::Rng& rng);
+
+/// Mint a plausible but non-existent PETSc symbol related to `base`
+/// ("KSPSolve" -> e.g. "KSPSolveBlocked"). Guaranteed to not collide with a
+/// real spec name.
+[[nodiscard]] std::string mint_fake_symbol(std::string_view base,
+                                           pkb::util::Rng& rng);
+
+}  // namespace pkb::llm

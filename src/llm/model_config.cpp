@@ -1,0 +1,69 @@
+#include "llm/model_config.h"
+
+#include <stdexcept>
+
+namespace pkb::llm {
+
+LlmConfig model_config(std::string_view name) {
+  if (name == "sim-gpt-4o") {
+    LlmConfig cfg;
+    cfg.name = "sim-gpt-4o";
+    cfg.quality = 0.96;
+    cfg.knowledge = 0.75;
+    cfg.grounding_fidelity = 0.96;
+    cfg.latency_base_seconds = 1.8;
+    cfg.prefill_tokens_per_second = 2600.0;
+    cfg.decode_tokens_per_second = 15.0;
+    cfg.seed = 40;
+    return cfg;
+  }
+  if (name == "sim-gpt-4-turbo") {
+    LlmConfig cfg;
+    cfg.name = "sim-gpt-4-turbo";
+    cfg.quality = 0.92;
+    cfg.knowledge = 0.88;
+    cfg.grounding_fidelity = 0.93;
+    cfg.latency_base_seconds = 2.2;
+    cfg.prefill_tokens_per_second = 1800.0;
+    cfg.decode_tokens_per_second = 22.0;
+    cfg.seed = 41;
+    return cfg;
+  }
+  if (name == "sim-llama3-70b") {
+    LlmConfig cfg;
+    cfg.name = "sim-llama3-70b";
+    cfg.quality = 0.86;
+    cfg.knowledge = 0.72;
+    cfg.grounding_fidelity = 0.88;
+    cfg.latency_base_seconds = 1.9;
+    cfg.prefill_tokens_per_second = 1500.0;
+    cfg.decode_tokens_per_second = 26.0;
+    cfg.latency_jitter = 0.5;
+    cfg.attention_decay = 0.6;  // weaker models: stronger primacy bias
+    cfg.seed = 42;
+    return cfg;
+  }
+  if (name == "sim-llama3-8b") {
+    LlmConfig cfg;
+    cfg.name = "sim-llama3-8b";
+    cfg.quality = 0.7;
+    cfg.knowledge = 0.5;
+    cfg.grounding_fidelity = 0.75;
+    cfg.latency_base_seconds = 0.9;
+    cfg.prefill_tokens_per_second = 4000.0;
+    cfg.decode_tokens_per_second = 55.0;
+    cfg.latency_jitter = 0.5;
+    cfg.attention_decay = 0.8;
+    cfg.completion_budget_words = 60;
+    cfg.max_answer_sentences = 3;
+    cfg.seed = 43;
+    return cfg;
+  }
+  throw std::invalid_argument("unknown model: " + std::string(name));
+}
+
+std::vector<std::string> model_registry() {
+  return {"sim-gpt-4o", "sim-gpt-4-turbo", "sim-llama3-70b", "sim-llama3-8b"};
+}
+
+}  // namespace pkb::llm

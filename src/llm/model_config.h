@@ -1,0 +1,52 @@
+#pragma once
+// Simulated-model configurations and registry.
+//
+// The paper evaluates OpenAI GPT-4 variants and Meta Llama3 variants and
+// settles on GPT-4o. Our registry mirrors that sweep with four simulated
+// models whose knobs control the mechanisms the paper's phenomena depend on.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pkb::llm {
+
+struct LlmConfig {
+  std::string name;
+  /// Overall answer-composition quality in [0,1]: sentence selection
+  /// sharpness and caveat discipline.
+  double quality = 0.9;
+  /// Parametric-memory coverage multiplier in [0,1]: how much of the public
+  /// PETSc knowledge the model absorbed in pretraining.
+  double knowledge = 0.85;
+  /// How faithfully supplied context is used in grounded mode, [0,1]; below
+  /// 1.0 the model occasionally drops a relevant sentence.
+  double grounding_fidelity = 0.95;
+  /// Latency model: seconds = base + prompt/prefill_tps + completion/decode_tps,
+  /// times a deterministic per-request jitter.
+  double latency_base_seconds = 1.6;
+  double prefill_tokens_per_second = 2600.0;
+  double decode_tokens_per_second = 34.0;
+  /// Relative jitter amplitude (0.3 = up to +-30%).
+  double latency_jitter = 0.45;
+  /// Positional attention decay across contexts: sentence relevance from
+  /// context at rank c is discounted by 1/(1 + decay*c) ("lost in the
+  /// middle"). Larger = stronger primacy bias.
+  double attention_decay = 0.45;
+  /// Completion budget in words for grounded answers.
+  std::size_t completion_budget_words = 85;
+  /// Maximum sentences composed into a grounded answer.
+  std::size_t max_answer_sentences = 4;
+  /// Stream seed so different models diverge deterministically.
+  std::uint64_t seed = 1;
+};
+
+/// Registry: "sim-gpt-4o", "sim-gpt-4-turbo", "sim-llama3-70b",
+/// "sim-llama3-8b". Throws std::invalid_argument for unknown names.
+[[nodiscard]] LlmConfig model_config(std::string_view name);
+
+/// All registry names, strongest first.
+[[nodiscard]] std::vector<std::string> model_registry();
+
+}  // namespace pkb::llm

@@ -1,0 +1,93 @@
+#include "llm/parametric.h"
+
+#include "text/tokenizer.h"
+#include "util/strings.h"
+
+namespace pkb::llm {
+
+namespace {
+
+/// Minimum BM25 card score for a content match to be trusted as THE topic.
+constexpr double kKeywordThreshold = 2.5;
+
+/// One searchable "card" per spec: name + summary + notes (what a model
+/// would have memorized about the entity).
+std::vector<text::Document> build_cards() {
+  std::vector<text::Document> cards;
+  const auto& table = corpus::api_table();
+  cards.reserve(table.size());
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const corpus::ApiSpec& spec = table[i];
+    text::Document card;
+    card.id = spec.name;
+    card.text = spec.name + ". " + spec.summary;
+    for (const std::string& note : spec.notes) {
+      card.text += " ";
+      card.text += note;
+    }
+    card.metadata["spec_index"] = std::to_string(i);
+    cards.push_back(std::move(card));
+  }
+  return cards;
+}
+
+}  // namespace
+
+ParametricMemory::ParametricMemory() { card_index_.build(build_cards()); }
+
+TopicMatch ParametricMemory::resolve(std::string_view question) const {
+  const text::TokenizedText tt = text::tokenize(question);
+
+  // 1) Exact symbol match wins.
+  for (const std::string& symbol : tt.symbols) {
+    if (const corpus::ApiSpec* spec = corpus::find_spec(symbol)) {
+      return TopicMatch{spec, "symbol", symbol, 10.0};
+    }
+  }
+  // 2) Fuzzy symbol (typo) match.
+  for (const std::string& symbol : tt.symbols) {
+    if (const corpus::ApiSpec* spec = corpus::find_spec_fuzzy(symbol)) {
+      return TopicMatch{spec, "fuzzy-symbol", symbol, 5.0};
+    }
+  }
+  // 3) Content match over the spec cards. Only a decisive lexical match
+  //    counts: stopwords are stripped so that interrogative words ("what",
+  //    "does") cannot hijack the topic.
+  std::string content_query;
+  for (const std::string& tok : tt.tokens) {
+    if (text::stopwords().contains(tok)) continue;
+    content_query += tok;
+    content_query += ' ';
+  }
+  const auto hits = card_index_.search(content_query, 2);
+  const double second = hits.size() > 1 ? hits[1].score : 0.0;
+  if (!hits.empty() && hits[0].score >= kKeywordThreshold &&
+      hits[0].score > 1.15 * second) {
+    const std::size_t spec_index = static_cast<std::size_t>(
+        std::stoul(std::string(hits[0].doc->meta("spec_index"))));
+    return TopicMatch{&corpus::api_table()[spec_index], "keyword", "",
+                      hits[0].score};
+  }
+  // 4) A question that names an API-shaped symbol that resolved to nothing
+  //    is about an unknown entity (the KSPBurb case).
+  if (!tt.symbols.empty()) {
+    TopicMatch miss;
+    miss.query_symbol = tt.symbols.front();
+    return miss;
+  }
+  // 5) Weak content match is better than nothing when no symbol is involved.
+  if (!hits.empty() && hits[0].score > 0.5) {
+    const std::size_t spec_index = static_cast<std::size_t>(
+        std::stoul(std::string(hits[0].doc->meta("spec_index"))));
+    return TopicMatch{&corpus::api_table()[spec_index], "keyword", "",
+                      hits[0].score};
+  }
+  return TopicMatch{};
+}
+
+const ParametricMemory& ParametricMemory::instance() {
+  static const ParametricMemory memory;
+  return memory;
+}
+
+}  // namespace pkb::llm

@@ -1,0 +1,50 @@
+#pragma once
+// Parametric memory of the simulated LLM: the popularity-weighted slice of
+// the PETSc knowledge base that a mainstream model plausibly absorbed during
+// pretraining.
+//
+// The memory answers "which entity is this question about, and how well do I
+// know it?" — the baseline (no-RAG) arm's entire knowledge source.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "corpus/api_spec.h"
+#include "lexical/bm25.h"
+
+namespace pkb::llm {
+
+/// The topic a question resolved to.
+struct TopicMatch {
+  const corpus::ApiSpec* spec = nullptr;  ///< nullptr = nothing matched
+  /// How the topic was found: "symbol" (an API symbol in the question),
+  /// "fuzzy-symbol", or "keyword" (content match).
+  std::string how;
+  /// The question symbol that triggered a symbol match (if any).
+  std::string query_symbol;
+  /// Lexical match strength (informational).
+  double strength = 0.0;
+};
+
+/// Shared, immutable topic index over the spec table.
+class ParametricMemory {
+ public:
+  ParametricMemory();
+
+  /// Resolve a question to its most likely topic. A question containing an
+  /// API-shaped symbol resolves by symbol (exact first, then fuzzy); symbols
+  /// that resolve to nothing are reported with spec == nullptr and
+  /// query_symbol set (the KSPBurb case). Otherwise the spec "cards" are
+  /// searched lexically.
+  [[nodiscard]] TopicMatch resolve(std::string_view question) const;
+
+  /// The process-wide instance (construction is expensive: builds a BM25
+  /// index over the spec cards).
+  static const ParametricMemory& instance();
+
+ private:
+  lexical::Bm25Index card_index_;
+};
+
+}  // namespace pkb::llm

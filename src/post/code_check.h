@@ -1,0 +1,46 @@
+#pragma once
+// Code-block verification (§III-E: "we automatically detect blocks of code
+// and can pass them to a compiler to verify that they work").
+//
+// We have no PETSc headers or compiler in the loop, so the "compiler" is a
+// static verifier for C-like snippets: delimiter balance, statement
+// termination heuristics, and — the PETSc-specific part — verification that
+// every PETSc-shaped identifier in the snippet names a real API entity
+// (catching LLM-invented functions before a user copy-pastes them).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pkb::post {
+
+/// One extracted code block.
+struct CodeBlock {
+  std::string language;  ///< fence info string ("c", "console", ...)
+  std::string code;
+};
+
+/// One verification finding.
+struct CodeDiagnostic {
+  enum class Severity { Error, Warning };
+  Severity severity = Severity::Error;
+  std::string message;
+};
+
+/// Verification outcome for one block.
+struct CodeCheckReport {
+  bool ok = true;  ///< no Error-severity diagnostics
+  std::vector<CodeDiagnostic> diagnostics;
+};
+
+/// All fenced code blocks in a Markdown text.
+[[nodiscard]] std::vector<CodeBlock> extract_code_blocks(std::string_view md);
+
+/// Verify one code block. Console/shell blocks only get option-name
+/// verification; C-like blocks get the full delimiter + symbol checks.
+[[nodiscard]] CodeCheckReport check_code(const CodeBlock& block);
+
+/// Verify every code block in a Markdown text (report per block).
+[[nodiscard]] std::vector<CodeCheckReport> check_all_code(std::string_view md);
+
+}  // namespace pkb::post

@@ -1,0 +1,142 @@
+#include "post/markdown_html.h"
+
+#include "text/markdown.h"
+#include "util/strings.h"
+
+namespace pkb::post {
+
+std::string html_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 16);
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string inline_to_html(std::string_view line) {
+  std::string out;
+  std::size_t i = 0;
+  auto emit_escaped = [&out](std::string_view piece) {
+    out += html_escape(piece);
+  };
+  while (i < line.size()) {
+    const char c = line[i];
+    if (c == '`') {
+      const std::size_t close = line.find('`', i + 1);
+      if (close != std::string_view::npos) {
+        out += "<code>";
+        emit_escaped(line.substr(i + 1, close - i - 1));
+        out += "</code>";
+        i = close + 1;
+        continue;
+      }
+    }
+    if (c == '[') {
+      const std::size_t close_bracket = line.find(']', i + 1);
+      if (close_bracket != std::string_view::npos &&
+          close_bracket + 1 < line.size() && line[close_bracket + 1] == '(') {
+        const std::size_t close_paren = line.find(')', close_bracket + 2);
+        if (close_paren != std::string_view::npos) {
+          out += "<a href=\"" +
+                 html_escape(line.substr(close_bracket + 2,
+                                         close_paren - close_bracket - 2)) +
+                 "\">";
+          emit_escaped(line.substr(i + 1, close_bracket - i - 1));
+          out += "</a>";
+          i = close_paren + 1;
+          continue;
+        }
+      }
+    }
+    if (c == '*') {
+      const bool strong = i + 1 < line.size() && line[i + 1] == '*';
+      const std::string_view marker = strong ? "**" : "*";
+      const std::size_t start = i + marker.size();
+      const std::size_t close = line.find(marker, start);
+      if (close != std::string_view::npos && close > start) {
+        out += strong ? "<strong>" : "<em>";
+        out += inline_to_html(line.substr(start, close - start));
+        out += strong ? "</strong>" : "</em>";
+        i = close + marker.size();
+        continue;
+      }
+    }
+    emit_escaped(line.substr(i, 1));
+    ++i;
+  }
+  return out;
+}
+
+std::string markdown_to_html(std::string_view md) {
+  std::string html;
+  for (const text::MdBlock& block : text::parse_markdown(md)) {
+    switch (block.type) {
+      case text::MdBlock::Type::Heading: {
+        const std::string tag = "h" + std::to_string(block.level);
+        html += "<" + tag + ">" + inline_to_html(block.text) + "</" + tag +
+                ">\n";
+        break;
+      }
+      case text::MdBlock::Type::Paragraph:
+        html += "<p>" + inline_to_html(block.text) + "</p>\n";
+        break;
+      case text::MdBlock::Type::CodeFence:
+        html += "<pre><code";
+        if (!block.language.empty()) {
+          html += " class=\"language-" + html_escape(block.language) + "\"";
+        }
+        html += ">" + html_escape(block.text) + "</code></pre>\n";
+        break;
+      case text::MdBlock::Type::List: {
+        const std::string tag = block.ordered ? "ol" : "ul";
+        html += "<" + tag + ">\n";
+        for (const std::string& item : block.items) {
+          html += "  <li>" + inline_to_html(item) + "</li>\n";
+        }
+        html += "</" + tag + ">\n";
+        break;
+      }
+      case text::MdBlock::Type::Table: {
+        html += "<table>\n";
+        for (std::size_t r = 0; r < block.rows.size(); ++r) {
+          const std::string cell_tag = r == 0 ? "th" : "td";
+          html += "  <tr>";
+          for (const std::string& cell : block.rows[r]) {
+            html += "<" + cell_tag + ">" + inline_to_html(cell) + "</" +
+                    cell_tag + ">";
+          }
+          html += "</tr>\n";
+        }
+        html += "</table>\n";
+        break;
+      }
+      case text::MdBlock::Type::BlockQuote:
+        html += "<blockquote>" +
+                inline_to_html(pkb::util::replace_all(block.text, "\n", " ")) +
+                "</blockquote>\n";
+        break;
+      case text::MdBlock::Type::HorizontalRule:
+        html += "<hr/>\n";
+        break;
+    }
+  }
+  return html;
+}
+
+}  // namespace pkb::post

@@ -1,0 +1,23 @@
+#pragma once
+// Markdown -> HTML conversion for displaying LLM output on a webpage
+// (§III-E: "We provide tools that postprocess the Markdown before displaying
+// it to users, such as converting it to HTML").
+
+#include <string>
+#include <string_view>
+
+namespace pkb::post {
+
+/// Escape &, <, >, " for safe HTML embedding.
+[[nodiscard]] std::string html_escape(std::string_view s);
+
+/// Convert Markdown to HTML. Supports the block set of text::parse_markdown
+/// (headings, paragraphs, fenced code, lists, tables, quotes, rules) and
+/// inline code/emphasis/links.
+[[nodiscard]] std::string markdown_to_html(std::string_view md);
+
+/// Inline-only conversion: `code` -> <code>, **b** -> <strong>, *i* -> <em>,
+/// [t](u) -> <a>. Input is escaped first.
+[[nodiscard]] std::string inline_to_html(std::string_view line);
+
+}  // namespace pkb::post

@@ -1,0 +1,49 @@
+#include "post/postprocessor.h"
+
+#include "post/markdown_html.h"
+#include "text/markdown.h"
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace pkb::post {
+
+ProcessedOutput postprocess_llm_output(std::string_view response) {
+  ProcessedOutput out;
+
+  std::string markdown(response);
+  const std::string_view trimmed = pkb::util::trim(response);
+  if (!trimmed.empty() && trimmed.front() == '{') {
+    try {
+      const pkb::util::Json obj = pkb::util::Json::parse(trimmed);
+      if (obj.is_object() && obj.find("answer") != nullptr) {
+        out.was_json = true;
+        markdown = obj.get_string("answer");
+        if (const pkb::util::Json* sources = obj.find("sources");
+            sources != nullptr && sources->is_array()) {
+          for (const pkb::util::Json& s : sources->as_array()) {
+            if (s.is_string()) out.sources.push_back(s.as_string());
+          }
+        }
+      }
+    } catch (const pkb::util::JsonError&) {
+      // Not JSON after all: treat as Markdown.
+    }
+  }
+
+  out.plain_text = text::strip_markdown(markdown);
+  out.html = markdown_to_html(markdown);
+  for (const text::MdBlock& block : text::parse_markdown(markdown)) {
+    if (block.type == text::MdBlock::Type::List) {
+      for (const std::string& item : block.items) {
+        out.list_items.push_back(text::strip_inline(item));
+      }
+    }
+  }
+  out.code_reports = check_all_code(markdown);
+  for (const CodeCheckReport& report : out.code_reports) {
+    if (!report.ok) out.all_code_ok = false;
+  }
+  return out;
+}
+
+}  // namespace pkb::post

@@ -1,0 +1,34 @@
+#include "rag/database.h"
+
+#include "util/log.h"
+
+namespace pkb::rag {
+
+RagDatabase RagDatabase::build(const text::VirtualDir& corpus,
+                               RagDatabaseOptions opts) {
+  RagDatabase db;
+  db.opts_ = opts;
+
+  const text::DirectoryLoader dir_loader(opts.file_pattern);
+  const text::MarkdownLoader md_loader(text::MarkdownMode::Single,
+                                       /*drop_headings=*/true);
+  const std::vector<text::Document> docs =
+      md_loader.load(dir_loader.load(corpus));
+  db.source_count_ = docs.size();
+
+  const text::RecursiveCharacterTextSplitter splitter(opts.splitter);
+  db.chunks_ = splitter.split_documents(docs);
+
+  db.embedder_ = embed::make_embedder(opts.embedder);
+  db.embedder_->fit(db.chunks_);
+  db.store_ = vectordb::VectorStore::from_documents(db.chunks_, *db.embedder_);
+  db.symbols_ = std::make_unique<lexical::SymbolIndex>(db.chunks_);
+
+  PKB_LOG(Info, "rag") << "database built: " << db.source_count_
+                       << " documents, " << db.chunks_.size() << " chunks, "
+                       << "embedder " << db.embedder_->name() << " (dim "
+                       << db.embedder_->dimension() << ")";
+  return db;
+}
+
+}  // namespace pkb::rag

@@ -1,0 +1,54 @@
+#include "rag/history_retriever.h"
+
+#include <stdexcept>
+
+namespace pkb::rag {
+
+HistoryRetriever::HistoryRetriever(const history::HistoryStore* store,
+                                   HistoryRetrieverOptions opts)
+    : store_(store), opts_(opts) {
+  if (store_ == nullptr) {
+    throw std::invalid_argument("HistoryRetriever: null store");
+  }
+  refresh();
+}
+
+void HistoryRetriever::refresh() {
+  record_ids_.clear();
+  std::vector<text::Document> docs;
+  for (const history::InteractionRecord& record : store_->records()) {
+    const auto mean = store_->mean_score(record.id);
+    const bool vetted_by_score =
+        mean.has_value() && *mean >= opts_.min_mean_score;
+    const bool human =
+        record.model.empty() && opts_.trust_unscored_human_answers;
+    if (!vetted_by_score && !human) continue;
+    text::Document doc;
+    doc.id = "history#" + std::to_string(record.id);
+    doc.text = record.question + " " + record.response;
+    docs.push_back(std::move(doc));
+    record_ids_.push_back(record.id);
+  }
+  index_.build(std::move(docs));
+}
+
+std::vector<llm::ContextDoc> HistoryRetriever::lookup(
+    std::string_view question) const {
+  std::vector<llm::ContextDoc> out;
+  for (const lexical::Bm25Result& hit :
+       index_.search(question, opts_.max_contexts)) {
+    if (hit.score < opts_.min_relevance) continue;
+    const history::InteractionRecord* record =
+        store_->get(record_ids_[hit.index]);
+    llm::ContextDoc ctx;
+    ctx.id = hit.doc->id;
+    ctx.title = "";  // past interactions carry no page title
+    ctx.text = "A previous vetted answer to a similar question (" +
+               record->question + "): " + record->response;
+    ctx.score = hit.score;
+    out.push_back(std::move(ctx));
+  }
+  return out;
+}
+
+}  // namespace pkb::rag

@@ -1,0 +1,51 @@
+#include "rag/prompts.h"
+
+namespace pkb::rag {
+
+std::string PromptLibrary::qa_system_prompt() {
+  return "You are a PETSc expert assistant. Answer the user's question "
+         "using the provided PETSc documentation passages. Prefer the "
+         "passages over your own recollection; cite the source of any "
+         "claim; if the passages do not contain the answer, say so rather "
+         "than guessing. Use exact PETSc API names and runtime options.";
+}
+
+std::string PromptLibrary::baseline_system_prompt() {
+  return "You are a PETSc expert assistant. Answer the user's question "
+         "about the PETSc library precisely, using exact PETSc API names "
+         "and runtime options.";
+}
+
+std::string PromptLibrary::email_reply_system_prompt() {
+  return "You are drafting a reply to a message on the petsc-users mailing "
+         "list on behalf of the PETSc developers. Be helpful, technically "
+         "precise, and concise; ask for -ksp_view or -log_view output when "
+         "the configuration is unclear; never invent API names. A human "
+         "developer will review this draft before anything is sent.";
+}
+
+std::string PromptLibrary::doc_update_system_prompt() {
+  return "You are improving PETSc documentation. Given a manual page and "
+         "related discussion, draft an updated page that preserves the "
+         "existing structure (Synopsis, Options Database Keys, Notes, "
+         "Level, See Also) and adds the missing information. Output "
+         "Markdown only.";
+}
+
+std::string PromptLibrary::render_user_prompt(
+    std::string_view question, const std::vector<llm::ContextDoc>& contexts) {
+  std::string prompt;
+  if (!contexts.empty()) {
+    prompt += "Context passages from the PETSc knowledge base:\n\n";
+    for (std::size_t i = 0; i < contexts.size(); ++i) {
+      prompt += "[" + std::to_string(i + 1) + "] (source: " + contexts[i].id +
+                ")\n" + contexts[i].text + "\n\n";
+    }
+    prompt += "---\n\n";
+  }
+  prompt += "Question: ";
+  prompt += question;
+  return prompt;
+}
+
+}  // namespace pkb::rag

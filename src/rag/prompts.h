@@ -1,0 +1,35 @@
+#pragma once
+// The prompt library (§I: "supported by processing scripts, prompt
+// libraries, and agentic memory systems").
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "llm/types.h"
+
+namespace pkb::rag {
+
+/// Named system prompts for the assistant's roles.
+class PromptLibrary {
+ public:
+  /// Answering user questions with retrieved context (the QA role).
+  [[nodiscard]] static std::string qa_system_prompt();
+
+  /// Answering without retrieval (the baseline arm).
+  [[nodiscard]] static std::string baseline_system_prompt();
+
+  /// Drafting replies to mailing-list emails (the Discord bot role).
+  [[nodiscard]] static std::string email_reply_system_prompt();
+
+  /// Proposing documentation updates (the doc-assistant role).
+  [[nodiscard]] static std::string doc_update_system_prompt();
+
+  /// Render the full user prompt: the question plus the numbered context
+  /// passages with their source ids (what actually goes to the model, and
+  /// what the interaction history records).
+  [[nodiscard]] static std::string render_user_prompt(
+      std::string_view question, const std::vector<llm::ContextDoc>& contexts);
+};
+
+}  // namespace pkb::rag

@@ -1,0 +1,91 @@
+#include "rag/retriever.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/clock.h"
+
+namespace pkb::rag {
+
+Retriever::Retriever(const RagDatabase& db, RetrieverOptions opts)
+    : db_(db), opts_(std::move(opts)) {
+  if (!opts_.reranker.empty()) {
+    reranker_ = rerank::make_reranker(opts_.reranker);
+    reranker_->fit(db_.chunks());
+  }
+}
+
+RetrievalResult Retriever::retrieve(std::string_view query) const {
+  RetrievalResult result;
+  pkb::util::Stopwatch watch;
+
+  // --- First pass 1/2: embedding search (box 1 of Fig 3). ---
+  const embed::Vector query_vec = db_.embedder().embed(query);
+  result.embed_seconds = watch.seconds();
+  watch.reset();
+
+  const auto vector_hits =
+      db_.store().similarity_search(query_vec, opts_.first_pass_k);
+
+  // --- First pass 2/2: PETSc keyword augmentation (§III-C). ---
+  // Candidates dedup by chunk id: vector hits point into the store's copy
+  // of the documents, keyword hits into the database's chunk list.
+  std::vector<RetrievedContext> candidates;
+  std::unordered_map<std::string_view, std::size_t> pos;
+  for (const vectordb::SearchResult& hit : vector_hits) {
+    RetrievedContext ctx;
+    ctx.doc = hit.doc;
+    ctx.score = hit.score;
+    ctx.via = "vector";
+    ctx.first_pass_rank = candidates.size();
+    pos.emplace(hit.doc->id, candidates.size());
+    candidates.push_back(std::move(ctx));
+  }
+  if (opts_.use_keyword_search) {
+    for (const lexical::KeywordHit& hit : db_.symbols().lookup(query)) {
+      for (std::size_t chunk_index : hit.chunks) {
+        const text::Document* doc = &db_.chunks()[chunk_index];
+        auto it = pos.find(std::string_view(doc->id));
+        if (it != pos.end()) {
+          candidates[it->second].via = "vector+keyword";
+          continue;
+        }
+        RetrievedContext ctx;
+        ctx.doc = doc;
+        ctx.score = 0.0;  // keyword hits carry no embedding score
+        ctx.via = "keyword";
+        ctx.first_pass_rank = candidates.size();
+        pos.emplace(std::string_view(doc->id), candidates.size());
+        candidates.push_back(std::move(ctx));
+      }
+    }
+  }
+  result.search_seconds = watch.seconds();
+  result.first_pass = candidates;
+
+  // --- Second pass: reranking K (+ keyword extras) down to L (§III-D). ---
+  if (reranker_ != nullptr) {
+    watch.reset();
+    std::vector<rerank::RerankCandidate> rc;
+    rc.reserve(candidates.size());
+    for (const RetrievedContext& ctx : candidates) {
+      rc.push_back(rerank::RerankCandidate{
+          ctx.doc, static_cast<float>(ctx.score)});
+    }
+    const auto reranked = reranker_->rerank(query, rc, opts_.final_l);
+    result.contexts.clear();
+    for (const rerank::RerankResult& rr : reranked) {
+      RetrievedContext ctx = candidates[rr.original_rank];
+      ctx.score = rr.score;
+      result.contexts.push_back(std::move(ctx));
+    }
+    result.rerank_seconds = watch.seconds();
+  } else {
+    // Plain RAG: first-pass order, unreranked. All candidates are passed on;
+    // the model's attention window (L) decides what is actually read.
+    result.contexts = candidates;
+  }
+  return result;
+}
+
+}  // namespace pkb::rag

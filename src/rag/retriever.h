@@ -1,0 +1,66 @@
+#pragma once
+// The retrieval phase (§III-B/C/D): embedding search (first pass, K
+// candidates) + PETSc keyword augmentation + optional reranking down to L.
+
+#include <memory>
+#include <string>
+
+#include "rag/database.h"
+#include "rerank/reranker.h"
+
+namespace pkb::rag {
+
+/// Retrieval configuration. The paper's setting is K = 8, L = 4.
+struct RetrieverOptions {
+  std::size_t first_pass_k = 8;  ///< vector-search candidates
+  std::size_t final_l = 4;       ///< contexts kept after reranking
+  bool use_keyword_search = true;
+  /// Reranker registry name; empty disables the rerank stage (plain RAG).
+  std::string reranker = "sim-flashrank";
+};
+
+/// One retrieved context with provenance.
+struct RetrievedContext {
+  const text::Document* doc = nullptr;
+  double score = 0.0;
+  /// "vector", "keyword", or "vector+keyword" — how the candidate was found.
+  std::string via;
+  /// Rank in the first pass (0-based; keyword-only candidates rank after all
+  /// vector candidates in arrival order).
+  std::size_t first_pass_rank = 0;
+};
+
+/// Full retrieval outcome with stage timings (feeds Table II).
+struct RetrievalResult {
+  /// Final contexts, best first. Plain RAG: first-pass order; rerank arm:
+  /// rerank order, truncated to L.
+  std::vector<RetrievedContext> contexts;
+  /// The first-pass candidates before reranking (for the case-study benches
+  /// that diff the two arms' context sets).
+  std::vector<RetrievedContext> first_pass;
+  double embed_seconds = 0.0;    ///< query embedding
+  double search_seconds = 0.0;   ///< vector search + keyword lookup
+  double rerank_seconds = 0.0;   ///< rerank stage (0 when disabled)
+  /// Total RAG processing time (embed + search + rerank).
+  [[nodiscard]] double rag_seconds() const {
+    return embed_seconds + search_seconds + rerank_seconds;
+  }
+};
+
+/// Bound to a database; owns its reranker.
+class Retriever {
+ public:
+  Retriever(const RagDatabase& db, RetrieverOptions opts = {});
+
+  [[nodiscard]] RetrievalResult retrieve(std::string_view query) const;
+
+  [[nodiscard]] const RetrieverOptions& options() const { return opts_; }
+  [[nodiscard]] bool reranking_enabled() const { return reranker_ != nullptr; }
+
+ private:
+  const RagDatabase& db_;
+  RetrieverOptions opts_;
+  std::unique_ptr<rerank::Reranker> reranker_;
+};
+
+}  // namespace pkb::rag

@@ -1,0 +1,105 @@
+#include "rag/workflow.h"
+
+#include "rag/prompts.h"
+#include "util/clock.h"
+
+namespace pkb::rag {
+
+std::string_view to_string(PipelineArm arm) {
+  switch (arm) {
+    case PipelineArm::Baseline:
+      return "baseline";
+    case PipelineArm::Rag:
+      return "rag";
+    case PipelineArm::RagRerank:
+      return "rag+rerank";
+  }
+  return "?";
+}
+
+AugmentedWorkflow::AugmentedWorkflow(const RagDatabase& db, PipelineArm arm,
+                                     llm::LlmConfig model,
+                                     RetrieverOptions retriever_opts)
+    : db_(db), arm_(arm), llm_(std::move(model)) {
+  if (arm_ != PipelineArm::Baseline) {
+    if (arm_ == PipelineArm::Rag) {
+      // Plain RAG is the vanilla LangChain-style pipeline: embedding
+      // retrieval only. Keyword augmentation (§III-C) and reranking
+      // (§III-D) are the PETSc-specific enhancements of the rerank arm.
+      retriever_opts.reranker.clear();
+      retriever_opts.use_keyword_search = false;
+    }
+    retriever_ = std::make_unique<Retriever>(db_, std::move(retriever_opts));
+  }
+}
+
+void AugmentedWorkflow::attach_history(history::HistoryStore* store,
+                                       pkb::util::SimClock* clock) {
+  history_ = store;
+  clock_ = clock;
+}
+
+void AugmentedWorkflow::attach_history_retrieval(
+    const HistoryRetriever* retriever) {
+  history_retriever_ = retriever;
+}
+
+WorkflowOutcome AugmentedWorkflow::ask(std::string_view question) const {
+  WorkflowOutcome outcome;
+
+  llm::LlmRequest request;
+  request.question = std::string(question);
+  if (retriever_ != nullptr) {
+    outcome.retrieval = retriever_->retrieve(question);
+    for (const RetrievedContext& ctx : outcome.retrieval.contexts) {
+      request.contexts.push_back(
+          llm::ContextDoc{ctx.doc->id, std::string(ctx.doc->meta("title")),
+                          ctx.doc->text, ctx.score});
+    }
+    request.system = PromptLibrary::qa_system_prompt();
+  } else {
+    request.system = PromptLibrary::baseline_system_prompt();
+  }
+  if (history_retriever_ != nullptr) {
+    // Shared-history recall: past vetted answers join the context list
+    // (after the document contexts, competing for the attention window).
+    for (llm::ContextDoc& ctx : history_retriever_->lookup(question)) {
+      request.contexts.push_back(std::move(ctx));
+    }
+    if (!request.contexts.empty() && request.system.empty()) {
+      request.system = PromptLibrary::qa_system_prompt();
+    }
+  }
+  outcome.prompt = PromptLibrary::render_user_prompt(question,
+                                                     request.contexts);
+
+  outcome.response = llm_.complete(request);
+  outcome.processed = post::postprocess_llm_output(outcome.response.text);
+
+  if (history_ != nullptr) {
+    history::InteractionRecord record;
+    record.timestamp = clock_ != nullptr ? clock_->now() : 0.0;
+    record.question = std::string(question);
+    record.response = outcome.response.text;
+    record.model = llm_.config().name;
+    if (retriever_ != nullptr) {
+      record.embedding_model = db_.embedder().name();
+      record.reranker = retriever_->options().reranker;
+    }
+    record.pipeline = std::string(to_string(arm_));
+    record.prompt = outcome.prompt;
+    for (const llm::ContextDoc& ctx : request.contexts) {
+      record.context_ids.push_back(ctx.id);
+    }
+    record.latency_seconds =
+        outcome.retrieval.rag_seconds() + outcome.response.latency_seconds;
+    outcome.history_id = history_->add(std::move(record));
+    if (clock_ != nullptr) {
+      clock_->advance(outcome.retrieval.rag_seconds() +
+                      outcome.response.latency_seconds);
+    }
+  }
+  return outcome;
+}
+
+}  // namespace pkb::rag

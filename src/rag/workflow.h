@@ -1,0 +1,74 @@
+#pragma once
+// The augmented PETSc LLM workflow — boxes 1-4 of Fig 3 wired together:
+// retrieve (1) -> rerank (2) -> LLM (3) -> postprocess (4), with every
+// interaction recorded into the shared history (§III-F).
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "history/store.h"
+#include "llm/sim_llm.h"
+#include "util/clock.h"
+#include "post/postprocessor.h"
+#include "rag/history_retriever.h"
+#include "rag/retriever.h"
+
+namespace pkb::rag {
+
+/// Pipeline arm selector.
+enum class PipelineArm {
+  Baseline,    ///< no retrieval: parametric LLM only
+  Rag,         ///< embedding retrieval + keyword augmentation
+  RagRerank,   ///< retrieval + reranking (the paper's best configuration)
+};
+
+[[nodiscard]] std::string_view to_string(PipelineArm arm);
+
+/// The outcome of one question through the workflow.
+struct WorkflowOutcome {
+  llm::LlmResponse response;
+  RetrievalResult retrieval;        ///< empty contexts for Baseline
+  post::ProcessedOutput processed;  ///< box-4 postprocessing of the response
+  std::string prompt;               ///< the full prompt sent to the model
+  std::uint64_t history_id = 0;     ///< record id when history is attached
+};
+
+/// One arm of the workflow: a retriever (or none) plus a model.
+class AugmentedWorkflow {
+ public:
+  /// `arm` selects retrieval behaviour; `retriever_opts.reranker` is
+  /// overridden to "" for the Rag arm and kept for RagRerank.
+  AugmentedWorkflow(const RagDatabase& db, PipelineArm arm,
+                    llm::LlmConfig model, RetrieverOptions retriever_opts = {});
+
+  /// Attach a history store; subsequent ask() calls append records. The
+  /// store must outlive the workflow. `clock` (optional) supplies record
+  /// timestamps and advances by the simulated latency of each call.
+  void attach_history(history::HistoryStore* store,
+                      pkb::util::SimClock* clock = nullptr);
+
+  /// Enable shared-history recall (the Fig 3 dotted arrow): relevant vetted
+  /// past interactions are appended to the model's context list. The
+  /// retriever must outlive the workflow; the caller controls when it
+  /// refresh()es.
+  void attach_history_retrieval(const HistoryRetriever* retriever);
+
+  /// Run one question end to end.
+  [[nodiscard]] WorkflowOutcome ask(std::string_view question) const;
+
+  [[nodiscard]] PipelineArm arm() const { return arm_; }
+  [[nodiscard]] const llm::LlmConfig& model() const { return llm_.config(); }
+  [[nodiscard]] const Retriever* retriever() const { return retriever_.get(); }
+
+ private:
+  const RagDatabase& db_;
+  PipelineArm arm_;
+  llm::SimLlm llm_;
+  std::unique_ptr<Retriever> retriever_;
+  history::HistoryStore* history_ = nullptr;
+  pkb::util::SimClock* clock_ = nullptr;
+  const HistoryRetriever* history_retriever_ = nullptr;
+};
+
+}  // namespace pkb::rag

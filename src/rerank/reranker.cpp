@@ -1,0 +1,20 @@
+#include "rerank/reranker.h"
+
+#include <stdexcept>
+
+#include "rerank/cross_score.h"
+#include "rerank/flashranker.h"
+
+namespace pkb::rerank {
+
+std::unique_ptr<Reranker> make_reranker(std::string_view name) {
+  if (name == "sim-flashrank") return std::make_unique<FlashRanker>();
+  if (name == "sim-nv-cross") return std::make_unique<CrossScoreReranker>();
+  throw std::invalid_argument("unknown reranker: " + std::string(name));
+}
+
+std::vector<std::string> reranker_registry() {
+  return {"sim-flashrank", "sim-nv-cross"};
+}
+
+}  // namespace pkb::rerank

@@ -1,0 +1,48 @@
+#pragma once
+// The `Document` type flows through the whole pipeline: loaders produce
+// documents, the splitter cuts them into chunk documents, the embedder and
+// the vector store consume them, retrieval returns them, and the prompt
+// builder pastes them into the LLM context.
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pkb::text {
+
+/// Ordered key/value metadata. A std::map keeps serialization stable.
+using Metadata = std::map<std::string, std::string>;
+
+/// A piece of text plus provenance metadata.
+struct Document {
+  /// Stable identifier ("<source>#<chunk_index>" for chunks).
+  std::string id;
+  /// The text content (Markdown for loaded docs, plain text for chunks).
+  std::string text;
+  /// Provenance: at minimum "source" (path); chunks add "chunk_index",
+  /// "section" and anything the loader attached.
+  Metadata metadata;
+
+  /// Metadata lookup with default.
+  [[nodiscard]] std::string_view meta(std::string_view key,
+                                      std::string_view def = "") const {
+    auto it = metadata.find(std::string(key));
+    return it == metadata.end() ? def : std::string_view(it->second);
+  }
+
+  bool operator==(const Document&) const = default;
+};
+
+/// A named in-memory file, the unit the loaders consume. The corpus generator
+/// produces `VirtualFile`s directly; a disk adapter reads them from a real
+/// directory tree.
+struct VirtualFile {
+  std::string path;     ///< POSIX-style relative path, e.g. "manualpages/KSP/KSPGMRES.md"
+  std::string content;  ///< raw bytes (UTF-8 text for all our corpora)
+};
+
+/// An in-memory directory tree: just an ordered list of files.
+using VirtualDir = std::vector<VirtualFile>;
+
+}  // namespace pkb::text

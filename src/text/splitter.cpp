@@ -1,0 +1,134 @@
+#include "text/splitter.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace pkb::text {
+
+RecursiveCharacterTextSplitter::RecursiveCharacterTextSplitter(
+    SplitterOptions opts)
+    : opts_(std::move(opts)) {
+  if (opts_.chunk_size == 0) {
+    throw std::invalid_argument("splitter: chunk_size must be > 0");
+  }
+  if (opts_.chunk_overlap >= opts_.chunk_size) {
+    throw std::invalid_argument(
+        "splitter: chunk_overlap must be < chunk_size");
+  }
+  if (opts_.separators.empty()) {
+    throw std::invalid_argument("splitter: need at least one separator");
+  }
+}
+
+std::vector<std::string> RecursiveCharacterTextSplitter::split_text(
+    std::string_view text) const {
+  if (pkb::util::trim(text).empty()) return {};
+  return split_recursive(text, 0);
+}
+
+std::vector<std::string> RecursiveCharacterTextSplitter::split_recursive(
+    std::string_view text, std::size_t separator_index) const {
+  const std::string& sep = opts_.separators[separator_index];
+  const bool last_level = separator_index + 1 == opts_.separators.size();
+
+  // Split on this separator ("" means per-character).
+  std::vector<std::string> pieces;
+  if (sep.empty()) {
+    pieces.reserve(text.size());
+    for (char c : text) pieces.emplace_back(1, c);
+  } else {
+    for (std::string_view piece : pkb::util::split(text, sep)) {
+      pieces.emplace_back(piece);
+    }
+  }
+
+  // Recurse into oversize pieces; collect good pieces for merging.
+  std::vector<std::string> final_chunks;
+  std::vector<std::string> pending;  // pieces small enough to merge
+  auto flush_pending = [&] {
+    if (pending.empty()) return;
+    for (auto& merged : merge_pieces(pending, sep)) {
+      final_chunks.push_back(std::move(merged));
+    }
+    pending.clear();
+  };
+
+  for (auto& piece : pieces) {
+    if (piece.size() <= opts_.chunk_size) {
+      if (!pkb::util::trim(piece).empty()) pending.push_back(std::move(piece));
+      continue;
+    }
+    flush_pending();
+    if (last_level) {
+      // Cannot split further; emit as-is (unbreakable token).
+      final_chunks.push_back(std::move(piece));
+    } else {
+      for (auto& sub : split_recursive(piece, separator_index + 1)) {
+        final_chunks.push_back(std::move(sub));
+      }
+    }
+  }
+  flush_pending();
+  return final_chunks;
+}
+
+std::vector<std::string> RecursiveCharacterTextSplitter::merge_pieces(
+    const std::vector<std::string>& pieces, std::string_view separator) const {
+  const std::string_view joiner = opts_.keep_separator ? "" : separator;
+  std::vector<std::string> chunks;
+  std::vector<std::string_view> window;  // current pieces being accumulated
+  std::size_t window_len = 0;
+
+  auto window_total = [&] {
+    return window_len +
+           (window.empty() ? 0 : joiner.size() * (window.size() - 1));
+  };
+
+  auto emit = [&] {
+    if (window.empty()) return;
+    std::string chunk = pkb::util::join(window, joiner);
+    const std::string_view trimmed = pkb::util::trim(chunk);
+    if (!trimmed.empty()) chunks.emplace_back(trimmed);
+  };
+
+  for (const std::string& piece : pieces) {
+    if (!window.empty() &&
+        window_total() + joiner.size() + piece.size() > opts_.chunk_size) {
+      // Overflow: emit the window, then slide it forward keeping at most
+      // `chunk_overlap` characters of tail context (LangChain semantics).
+      emit();
+      while (!window.empty() &&
+             (window_total() > opts_.chunk_overlap ||
+              window_total() + joiner.size() + piece.size() >
+                  opts_.chunk_size)) {
+        window_len -= window.front().size();
+        window.erase(window.begin());
+      }
+    }
+    window.push_back(piece);
+    window_len += piece.size();
+  }
+  emit();
+  return chunks;
+}
+
+std::vector<Document> RecursiveCharacterTextSplitter::split_documents(
+    const std::vector<Document>& docs) const {
+  std::vector<Document> out;
+  for (const Document& doc : docs) {
+    const std::vector<std::string> chunks = split_text(doc.text);
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      Document chunk;
+      chunk.id = doc.id + "#" + std::to_string(i);
+      chunk.text = chunks[i];
+      chunk.metadata = doc.metadata;
+      chunk.metadata["chunk_index"] = std::to_string(i);
+      if (!chunk.metadata.contains("source")) chunk.metadata["source"] = doc.id;
+      out.push_back(std::move(chunk));
+    }
+  }
+  return out;
+}
+
+}  // namespace pkb::text

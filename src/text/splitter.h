@@ -1,0 +1,57 @@
+#pragma once
+// RecursiveCharacterTextSplitter — a faithful reimplementation of the
+// LangChain splitter the paper uses to chunk the PETSc documentation
+// (§III-A): try the coarsest separator first ("\n\n"), and for any piece
+// still exceeding `chunk_size`, recurse with the next separator ("\n", then
+// " ", then ""). Adjacent small pieces are merged back up to `chunk_size`
+// with `chunk_overlap` characters of overlap between consecutive chunks.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/document.h"
+
+namespace pkb::text {
+
+/// Splitter configuration.
+struct SplitterOptions {
+  /// Maximum chunk length in characters (the "soft" limit: a single
+  /// unbreakable token longer than this survives intact).
+  std::size_t chunk_size = 1000;
+  /// Characters of overlap carried from the end of one chunk into the next.
+  /// Must be < chunk_size.
+  std::size_t chunk_overlap = 150;
+  /// Separator cascade, coarsest first. The final "" means character-level.
+  std::vector<std::string> separators = {"\n\n", "\n", " ", ""};
+  /// Keep the separator attached to the preceding piece (LangChain's
+  /// keep_separator=False drops it; we default to dropping, as the paper's
+  /// configuration does).
+  bool keep_separator = false;
+};
+
+/// Recursive character splitter.
+class RecursiveCharacterTextSplitter {
+ public:
+  explicit RecursiveCharacterTextSplitter(SplitterOptions opts = {});
+
+  /// Split raw text into chunk strings.
+  [[nodiscard]] std::vector<std::string> split_text(std::string_view text) const;
+
+  /// Split each document into chunk documents. Chunk ids are
+  /// "<doc.id>#<index>"; metadata is inherited plus "chunk_index".
+  [[nodiscard]] std::vector<Document> split_documents(
+      const std::vector<Document>& docs) const;
+
+  [[nodiscard]] const SplitterOptions& options() const { return opts_; }
+
+ private:
+  [[nodiscard]] std::vector<std::string> split_recursive(
+      std::string_view text, std::size_t separator_index) const;
+  [[nodiscard]] std::vector<std::string> merge_pieces(
+      const std::vector<std::string>& pieces, std::string_view separator) const;
+
+  SplitterOptions opts_;
+};
+
+}  // namespace pkb::text

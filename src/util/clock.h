@@ -1,0 +1,66 @@
+#pragma once
+// Time sources.
+//
+// Two clocks coexist in the system:
+//  * `Stopwatch` measures real wall time for stages we genuinely execute
+//    (retrieval, reranking, embedding) — used by the Table II benchmark.
+//  * `SimClock` is a virtual clock used by the simulated LLM and the Discord
+//    workflow simulation, so that "a 9.6 second LLM response" and "poll email
+//    every 5 minutes" cost nothing at test time yet produce faithful
+//    timestamps and latency accounting.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace pkb::util {
+
+/// Wall-clock stopwatch with nanosecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Restart timing from now.
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  /// Elapsed milliseconds.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Virtual simulation clock. Time only moves when advanced explicitly.
+/// Epoch is an arbitrary "simulation day zero".
+class SimClock {
+ public:
+  SimClock() = default;
+  explicit SimClock(double start_seconds) : now_(start_seconds) {}
+
+  /// Current simulated time in seconds since the simulation epoch.
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Advance by `seconds` (must be >= 0).
+  void advance(double seconds);
+
+  /// Advance to an absolute time, if it is in the future; otherwise no-op.
+  void advance_to(double abs_seconds);
+
+  /// Render `now()` as "day D HH:MM:SS" for human-readable event traces.
+  [[nodiscard]] std::string timestamp() const;
+
+  /// Render an arbitrary sim time in the same format.
+  [[nodiscard]] static std::string format(double abs_seconds);
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace pkb::util

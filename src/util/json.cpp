@@ -1,0 +1,495 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pkb::util {
+
+bool Json::as_bool() const {
+  if (type_ != Type::Bool) throw JsonError("not a bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ != Type::Number) throw JsonError("not a number");
+  return num_;
+}
+
+std::int64_t Json::as_int() const {
+  if (type_ != Type::Number) throw JsonError("not a number");
+  return static_cast<std::int64_t>(num_);
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::String) throw JsonError("not a string");
+  return str_;
+}
+
+const Json::Array& Json::as_array() const {
+  if (type_ != Type::Array) throw JsonError("not an array");
+  return arr_;
+}
+
+Json::Array& Json::as_array() {
+  if (type_ != Type::Array) throw JsonError("not an array");
+  return arr_;
+}
+
+const Json::Object& Json::as_object() const {
+  if (type_ != Type::Object) throw JsonError("not an object");
+  return obj_;
+}
+
+Json::Object& Json::as_object() {
+  if (type_ != Type::Object) throw JsonError("not an object");
+  return obj_;
+}
+
+const Json& Json::at(std::size_t i) const {
+  const Array& a = as_array();
+  if (i >= a.size()) throw JsonError("array index out of range");
+  return a[i];
+}
+
+const Json* Json::find(std::string_view key) const {
+  const Object& o = as_object();
+  for (const auto& [k, v] : o) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* p = find(key);
+  if (p == nullptr) throw JsonError("missing key: " + std::string(key));
+  return *p;
+}
+
+std::string Json::get_string(std::string_view key, std::string_view def) const {
+  const Json* p = find(key);
+  return (p != nullptr && p->is_string()) ? p->as_string() : std::string(def);
+}
+
+double Json::get_number(std::string_view key, double def) const {
+  const Json* p = find(key);
+  return (p != nullptr && p->is_number()) ? p->as_number() : def;
+}
+
+std::int64_t Json::get_int(std::string_view key, std::int64_t def) const {
+  const Json* p = find(key);
+  return (p != nullptr && p->is_number()) ? p->as_int() : def;
+}
+
+bool Json::get_bool(std::string_view key, bool def) const {
+  const Json* p = find(key);
+  return (p != nullptr && p->is_bool()) ? p->as_bool() : def;
+}
+
+Json& Json::set(std::string key, Json value) {
+  Object& o = as_object();
+  for (auto& [k, v] : o) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  o.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push_back(Json value) {
+  as_array().push_back(std::move(value));
+  return *this;
+}
+
+std::size_t Json::size() const {
+  switch (type_) {
+    case Type::Array:
+      return arr_.size();
+    case Type::Object:
+      return obj_.size();
+    default:
+      return 0;
+  }
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::Null:
+      return true;
+    case Type::Bool:
+      return bool_ == other.bool_;
+    case Type::Number:
+      return num_ == other.num_;
+    case Type::String:
+      return str_ == other.str_;
+    case Type::Array:
+      return arr_ == other.arr_;
+    case Type::Object:
+      return obj_ == other.obj_;
+  }
+  return false;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+void append_number(std::string& out, double v) {
+  if (std::isnan(v) || std::isinf(v)) {
+    out += "null";  // JSON has no NaN/Inf; null is the conventional fallback
+    return;
+  }
+  // Integers within the exact double range print without a decimal point.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  auto newline = [&](int d) {
+    if (pretty) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent) * d, ' ');
+    }
+  };
+  switch (type_) {
+    case Type::Null:
+      out += "null";
+      break;
+    case Type::Bool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::Number:
+      append_number(out, num_);
+      break;
+    case Type::String:
+      out += '"';
+      out += json_escape(str_);
+      out += '"';
+      break;
+    case Type::Array: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i != 0) out += ',';
+        newline(depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i != 0) out += ',';
+        newline(depth + 1);
+        out += '"';
+        out += json_escape(obj_[i].first);
+        out += pretty ? "\": " : "\":";
+        obj_[i].second.dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    skip_ws();
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw JsonError("JSON parse error at offset " + std::to_string(pos_) +
+                    ": " + msg);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) throw JsonError("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      Json value = parse_value();
+      obj.as_object().emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      const char c = next();
+      if (c == '}') return obj;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') return arr;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = next();
+        switch (esc) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = next();
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("invalid \\u escape");
+              }
+            }
+            append_utf8(out, code);
+            break;
+          }
+          default:
+            fail("invalid escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    // Surrogate pairs are not combined (BMP-only \u escapes); each half is
+    // encoded independently, which round-trips our own output.
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("invalid value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* endp = nullptr;
+    const double v = std::strtod(token.c_str(), &endp);
+    if (endp == nullptr || *endp != '\0') {
+      pos_ = start;
+      fail("invalid number: " + token);
+    }
+    return Json(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace pkb::util

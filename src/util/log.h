@@ -1,0 +1,47 @@
+#pragma once
+// Leveled logging to stderr.
+//
+// Default level is Warn so tests stay quiet; examples raise it to Info to
+// narrate workflows. Thread-safe (a single mutex around emission).
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace pkb::util {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Current global threshold; messages below it are discarded.
+[[nodiscard]] LogLevel log_level();
+
+/// Set the global threshold.
+void set_log_level(LogLevel level);
+
+/// Emit one message at `level` from component `tag`.
+void log_message(LogLevel level, std::string_view tag, std::string_view msg);
+
+/// Stream-style helper: PKB_LOG(Info, "rag") << "built " << n << " chunks";
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view tag) : level_(level), tag_(tag) {}
+  ~LogStream() { log_message(level_, tag_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string tag_;
+  std::ostringstream stream_;
+};
+
+}  // namespace pkb::util
+
+#define PKB_LOG(level, tag) \
+  ::pkb::util::LogStream(::pkb::util::LogLevel::level, (tag))

@@ -1,0 +1,97 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace pkb::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> wrapped(std::move(task));
+  std::future<void> fut = wrapped.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(wrapped));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();  // packaged_task captures exceptions into the future
+  }
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t min_block) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  ThreadPool& pool = global_pool();
+  const std::size_t max_chunks = pool.size() + 1;
+  const std::size_t block =
+      std::max(min_block, (n + max_chunks - 1) / max_chunks);
+  if (n <= block || pool.size() == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+
+  auto run_block = [&](std::size_t lo, std::size_t hi) {
+    try {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (!failed.exchange(true)) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::future<void>> futures;
+  std::size_t lo = begin + block;  // first block runs on the calling thread
+  while (lo < end) {
+    const std::size_t hi = std::min(end, lo + block);
+    futures.push_back(pool.submit([=] { run_block(lo, hi); }));
+    lo = hi;
+  }
+  run_block(begin, std::min(end, begin + block));
+  for (auto& f : futures) f.get();
+  if (failed.load()) std::rethrow_exception(first_error);
+}
+
+}  // namespace pkb::util

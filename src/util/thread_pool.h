@@ -1,0 +1,61 @@
+#pragma once
+// Minimal work-stealing-free thread pool plus a blocking parallel_for.
+//
+// The embedding generator and vector-store search are the hot paths; both use
+// `parallel_for` over contiguous index ranges. The pool is created once and
+// reused (threads are expensive); `global_pool()` provides a lazily
+// constructed process-wide instance sized to the hardware.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pkb::util {
+
+/// Fixed-size FIFO thread pool.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; `threads == 0` means hardware concurrency
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins all workers; outstanding tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool sized to hardware concurrency.
+ThreadPool& global_pool();
+
+/// Run `fn(i)` for every i in [begin, end) across the pool, blocking until all
+/// iterations finish. The range is split into contiguous blocks (one per
+/// worker plus the calling thread, which also participates). `fn` must be safe
+/// to call concurrently for distinct i. Exceptions from `fn` propagate: the
+/// first one observed is rethrown after all blocks complete.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t min_block = 64);
+
+}  // namespace pkb::util

@@ -1,0 +1,169 @@
+#include "vectordb/ivf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace pkb::vectordb {
+
+IvfIndex::IvfIndex(const VectorStore& store, IvfOptions opts)
+    : store_(store), opts_(opts) {
+  if (store_.empty()) {
+    throw std::invalid_argument("IvfIndex: empty store");
+  }
+  if (opts_.clusters == 0) {
+    opts_.clusters = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(store_.size()))));
+  }
+  opts_.clusters = std::min(opts_.clusters, store_.size());
+  opts_.nprobe = std::max<std::size_t>(1, std::min(opts_.nprobe, opts_.clusters));
+  build();
+}
+
+void IvfIndex::build() {
+  const std::size_t n = store_.size();
+  const std::size_t k = opts_.clusters;
+  const std::size_t dim = store_.dimension();
+  pkb::util::Rng rng(opts_.seed);
+
+  // k-means++ initialization on cosine distance (vectors are unit norm, so
+  // distance = 1 - dot).
+  centroids_.clear();
+  centroids_.reserve(k);
+  centroids_.push_back(store_.vec(rng.below(n)));
+  std::vector<double> min_dist(n, 2.0);
+  while (centroids_.size() < k) {
+    const embed::Vector& latest = centroids_.back();
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = 1.0 - static_cast<double>(embed::dot(latest, store_.vec(i)));
+      min_dist[i] = std::min(min_dist[i], std::max(0.0, d));
+      total += min_dist[i];
+    }
+    if (total <= 0.0) {
+      centroids_.push_back(store_.vec(rng.below(n)));
+      continue;
+    }
+    double target = rng.uniform() * total;
+    std::size_t chosen = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      target -= min_dist[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids_.push_back(store_.vec(chosen));
+  }
+
+  // Lloyd iterations.
+  std::vector<std::size_t> assign(n, 0);
+  for (std::size_t iter = 0; iter < opts_.kmeans_iters; ++iter) {
+    pkb::util::parallel_for(0, n, [&](std::size_t i) {
+      float best = -2.0f;
+      std::size_t arg = 0;
+      for (std::size_t c = 0; c < centroids_.size(); ++c) {
+        const float s = embed::dot(centroids_[c], store_.vec(i));
+        if (s > best) {
+          best = s;
+          arg = c;
+        }
+      }
+      assign[i] = arg;
+    });
+    std::vector<embed::Vector> sums(centroids_.size(),
+                                    embed::Vector(dim, 0.0f));
+    std::vector<std::size_t> counts(centroids_.size(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const embed::Vector& v = store_.vec(i);
+      embed::Vector& s = sums[assign[i]];
+      for (std::size_t d = 0; d < dim; ++d) s[d] += v[d];
+      ++counts[assign[i]];
+    }
+    for (std::size_t c = 0; c < centroids_.size(); ++c) {
+      if (counts[c] == 0) {
+        centroids_[c] = store_.vec(rng.below(n));  // re-seed empty cluster
+        continue;
+      }
+      centroids_[c] = std::move(sums[c]);
+      embed::l2_normalize(centroids_[c]);
+    }
+  }
+
+  // Final assignment into buckets.
+  buckets_.assign(centroids_.size(), {});
+  for (std::size_t i = 0; i < n; ++i) {
+    float best = -2.0f;
+    std::size_t arg = 0;
+    for (std::size_t c = 0; c < centroids_.size(); ++c) {
+      const float s = embed::dot(centroids_[c], store_.vec(i));
+      if (s > best) {
+        best = s;
+        arg = c;
+      }
+    }
+    buckets_[arg].push_back(i);
+  }
+}
+
+std::vector<SearchResult> IvfIndex::search(const embed::Vector& query,
+                                           std::size_t k) const {
+  if (k == 0) return {};
+  embed::Vector q = query;
+  embed::l2_normalize(q);
+
+  // Rank clusters by centroid similarity.
+  std::vector<std::size_t> cluster_order(centroids_.size());
+  for (std::size_t c = 0; c < centroids_.size(); ++c) cluster_order[c] = c;
+  std::vector<float> cscore(centroids_.size());
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    cscore[c] = embed::dot(q, centroids_[c]);
+  }
+  const std::size_t probes = std::min(opts_.nprobe, centroids_.size());
+  std::partial_sort(cluster_order.begin(),
+                    cluster_order.begin() + static_cast<std::ptrdiff_t>(probes),
+                    cluster_order.end(), [&](std::size_t a, std::size_t b) {
+                      if (cscore[a] != cscore[b]) return cscore[a] > cscore[b];
+                      return a < b;
+                    });
+
+  std::vector<SearchResult> hits;
+  for (std::size_t p = 0; p < probes; ++p) {
+    for (std::size_t i : buckets_[cluster_order[p]]) {
+      hits.push_back(SearchResult{i, embed::dot(q, store_.vec(i)), &store_.doc(i)});
+    }
+  }
+  std::sort(hits.begin(), hits.end(), [](const SearchResult& a,
+                                         const SearchResult& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.index < b.index;
+  });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+double IvfIndex::recall_at_k(const std::vector<embed::Vector>& queries,
+                             std::size_t k) const {
+  if (queries.empty() || k == 0) return 1.0;
+  std::size_t found = 0;
+  std::size_t total = 0;
+  for (const embed::Vector& q : queries) {
+    const auto exact = store_.similarity_search(q, k);
+    const auto approx = search(q, k);
+    for (const SearchResult& e : exact) {
+      ++total;
+      for (const SearchResult& a : approx) {
+        if (a.index == e.index) {
+          ++found;
+          break;
+        }
+      }
+    }
+  }
+  return total == 0 ? 1.0 : static_cast<double>(found) / static_cast<double>(total);
+}
+
+}  // namespace pkb::vectordb

@@ -1,0 +1,55 @@
+#pragma once
+// IVF (inverted file) approximate nearest-neighbor index over a VectorStore.
+//
+// K-means clusters the stored vectors; a query probes only the `nprobe`
+// nearest clusters. Trades recall for speed — the micro benchmark
+// bench/micro_vectordb sweeps the trade-off.
+
+#include <cstdint>
+
+#include "vectordb/vector_store.h"
+
+namespace pkb::vectordb {
+
+/// IVF build/search parameters.
+struct IvfOptions {
+  /// Number of clusters; 0 means ceil(sqrt(n)).
+  std::size_t clusters = 0;
+  /// K-means iterations.
+  std::size_t kmeans_iters = 10;
+  /// Clusters probed per query.
+  std::size_t nprobe = 4;
+  /// RNG seed for centroid initialization (k-means++).
+  std::uint64_t seed = 42;
+};
+
+/// Approximate index bound to a VectorStore (which must outlive it and must
+/// not grow after build()).
+class IvfIndex {
+ public:
+  explicit IvfIndex(const VectorStore& store, IvfOptions opts = {});
+
+  /// Number of clusters actually built.
+  [[nodiscard]] std::size_t cluster_count() const { return centroids_.size(); }
+
+  /// Approximate top-k: probes the `nprobe` nearest clusters.
+  [[nodiscard]] std::vector<SearchResult> search(const embed::Vector& query,
+                                                 std::size_t k) const;
+
+  /// Recall@k of this index vs exact search for the given queries (fraction
+  /// of exact top-k hits the index also returned).
+  [[nodiscard]] double recall_at_k(const std::vector<embed::Vector>& queries,
+                                   std::size_t k) const;
+
+  [[nodiscard]] const IvfOptions& options() const { return opts_; }
+
+ private:
+  void build();
+
+  const VectorStore& store_;
+  IvfOptions opts_;
+  std::vector<embed::Vector> centroids_;
+  std::vector<std::vector<std::size_t>> buckets_;  ///< entry ids per cluster
+};
+
+}  // namespace pkb::vectordb

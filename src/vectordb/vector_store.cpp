@@ -1,0 +1,199 @@
+#include "vectordb/vector_store.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace pkb::vectordb {
+
+VectorStore VectorStore::from_documents(std::vector<text::Document> docs,
+                                        const embed::Embedder& embedder) {
+  VectorStore store;
+  std::vector<embed::Vector> vecs = embedder.embed_batch(docs);
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    store.add(std::move(docs[i]), std::move(vecs[i]));
+  }
+  return store;
+}
+
+void VectorStore::add(text::Document doc, embed::Vector vec) {
+  embed::l2_normalize(vec);
+  add_raw(std::move(doc), std::move(vec));
+}
+
+void VectorStore::add_raw(text::Document doc, embed::Vector vec) {
+  if (docs_.empty()) {
+    dim_ = vec.size();
+  } else if (vec.size() != dim_) {
+    throw std::invalid_argument("VectorStore::add: dimension mismatch");
+  }
+  docs_.push_back(std::move(doc));
+  vecs_.push_back(std::move(vec));
+}
+
+const text::Document& VectorStore::doc(std::size_t i) const {
+  return docs_.at(i);
+}
+
+const embed::Vector& VectorStore::vec(std::size_t i) const {
+  return vecs_.at(i);
+}
+
+std::vector<SearchResult> VectorStore::similarity_search(
+    const embed::Vector& query, std::size_t k,
+    const MetadataFilter* filter) const {
+  if (k == 0 || docs_.empty()) return {};
+  if (query.size() != dim_) {
+    throw std::invalid_argument("similarity_search: dimension mismatch");
+  }
+  embed::Vector q = query;
+  embed::l2_normalize(q);
+
+  // Score in parallel, then select top-k with a partial sort.
+  std::vector<float> scores(docs_.size());
+  pkb::util::parallel_for(
+      0, docs_.size(),
+      [&](std::size_t i) { scores[i] = embed::dot(q, vecs_[i]); },
+      /*min_block=*/256);
+
+  std::vector<std::size_t> order;
+  order.reserve(docs_.size());
+  for (std::size_t i = 0; i < docs_.size(); ++i) {
+    if (filter != nullptr && *filter && !(*filter)(docs_[i].metadata)) {
+      continue;
+    }
+    order.push_back(i);
+  }
+  const std::size_t keep = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(keep),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  order.resize(keep);
+
+  std::vector<SearchResult> out;
+  out.reserve(keep);
+  for (std::size_t i : order) {
+    out.push_back(SearchResult{i, scores[i], &docs_[i]});
+  }
+  return out;
+}
+
+std::vector<SearchResult> VectorStore::similarity_search_text(
+    std::string_view query, std::size_t k,
+    const embed::Embedder& embedder) const {
+  return similarity_search(embedder.embed(query), k);
+}
+
+std::optional<std::size_t> VectorStore::find_id(std::string_view id) const {
+  for (std::size_t i = 0; i < docs_.size(); ++i) {
+    if (docs_[i].id == id) return i;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Binary persistence.
+//
+// Format: magic "PKBV" | u32 version | u64 count | u64 dim | entries.
+// Entry: id | text | metadata (u64 count, key/value strings) | dim floats.
+// Strings: u64 length + bytes.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'K', 'B', 'V'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ofstream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void write_u64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void write_str(std::ofstream& out, const std::string& s) {
+  write_u64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::uint32_t read_u32(std::ifstream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  return v;
+}
+std::uint64_t read_u64(std::ifstream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  return v;
+}
+std::string read_str(std::ifstream& in) {
+  const std::uint64_t len = read_u64(in);
+  if (len > (1ULL << 32)) throw std::runtime_error("corrupt string length");
+  std::string s(len, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(len));
+  return s;
+}
+
+}  // namespace
+
+void VectorStore::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("VectorStore::save: cannot open " + path);
+  out.write(kMagic, sizeof kMagic);
+  write_u32(out, kVersion);
+  write_u64(out, docs_.size());
+  write_u64(out, dim_);
+  for (std::size_t i = 0; i < docs_.size(); ++i) {
+    write_str(out, docs_[i].id);
+    write_str(out, docs_[i].text);
+    write_u64(out, docs_[i].metadata.size());
+    for (const auto& [k, v] : docs_[i].metadata) {
+      write_str(out, k);
+      write_str(out, v);
+    }
+    out.write(reinterpret_cast<const char*>(vecs_[i].data()),
+              static_cast<std::streamsize>(dim_ * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("VectorStore::save: write failed");
+}
+
+VectorStore VectorStore::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("VectorStore::load: cannot open " + path);
+  char magic[4] = {};
+  in.read(magic, sizeof magic);
+  if (!in || std::string_view(magic, 4) != std::string_view(kMagic, 4)) {
+    throw std::runtime_error("VectorStore::load: bad magic");
+  }
+  const std::uint32_t version = read_u32(in);
+  if (version != kVersion) {
+    throw std::runtime_error("VectorStore::load: unsupported version");
+  }
+  const std::uint64_t count = read_u64(in);
+  const std::uint64_t dim = read_u64(in);
+  VectorStore store;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    text::Document doc;
+    doc.id = read_str(in);
+    doc.text = read_str(in);
+    const std::uint64_t meta_count = read_u64(in);
+    for (std::uint64_t m = 0; m < meta_count; ++m) {
+      std::string key = read_str(in);
+      std::string value = read_str(in);
+      doc.metadata.emplace(std::move(key), std::move(value));
+    }
+    embed::Vector vec(dim);
+    in.read(reinterpret_cast<char*>(vec.data()),
+            static_cast<std::streamsize>(dim * sizeof(float)));
+    if (!in) throw std::runtime_error("VectorStore::load: truncated file");
+    store.add_raw(std::move(doc), std::move(vec));
+  }
+  return store;
+}
+
+}  // namespace pkb::vectordb

@@ -1,0 +1,84 @@
+#pragma once
+// Vector database — the Chroma equivalent of §III-A.
+//
+// Stores (document, embedding) pairs and answers top-k similarity queries.
+// Exact search scans all vectors (parallelized, heap-based top-k); the IVF
+// index in ivf.h provides the approximate fast path. Collections persist to
+// a simple binary format.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "embed/embedder.h"
+#include "text/document.h"
+
+namespace pkb::vectordb {
+
+/// One search hit. `index` is the entry's position in the store.
+struct SearchResult {
+  std::size_t index = 0;
+  float score = 0.0f;  ///< cosine similarity (vectors are unit norm)
+  const text::Document* doc = nullptr;
+
+  bool operator==(const SearchResult&) const = default;
+};
+
+/// Optional metadata predicate applied before scoring.
+using MetadataFilter = std::function<bool(const text::Metadata&)>;
+
+/// Flat (exact) vector store.
+class VectorStore {
+ public:
+  VectorStore() = default;
+
+  /// Build a store by embedding every document with `embedder` (which must
+  /// already be fitted). Mirrors Chroma.from_documents.
+  static VectorStore from_documents(std::vector<text::Document> docs,
+                                    const embed::Embedder& embedder);
+
+  /// Add one entry. The vector is L2-normalized on insertion; its dimension
+  /// must match existing entries.
+  void add(text::Document doc, embed::Vector vec);
+
+  [[nodiscard]] std::size_t size() const { return docs_.size(); }
+  [[nodiscard]] bool empty() const { return docs_.empty(); }
+  [[nodiscard]] std::size_t dimension() const { return dim_; }
+
+  /// Entry access.
+  [[nodiscard]] const text::Document& doc(std::size_t i) const;
+  [[nodiscard]] const embed::Vector& vec(std::size_t i) const;
+
+  /// Exact top-k by cosine similarity (descending). Ties break by lower
+  /// index for determinism. `filter`, when given, drops entries before
+  /// scoring.
+  [[nodiscard]] std::vector<SearchResult> similarity_search(
+      const embed::Vector& query, std::size_t k,
+      const MetadataFilter* filter = nullptr) const;
+
+  /// Convenience: embed the query text with `embedder` then search.
+  [[nodiscard]] std::vector<SearchResult> similarity_search_text(
+      std::string_view query, std::size_t k,
+      const embed::Embedder& embedder) const;
+
+  /// Find the entry whose document id equals `id`; nullopt when absent.
+  [[nodiscard]] std::optional<std::size_t> find_id(std::string_view id) const;
+
+  /// Persist to / restore from a binary file. Throws std::runtime_error on
+  /// I/O errors or format mismatch.
+  void save(const std::string& path) const;
+  static VectorStore load(const std::string& path);
+
+ private:
+  /// Insert without re-normalizing (used by load(): stored vectors are
+  /// already unit norm, and renormalizing would drift the last bit).
+  void add_raw(text::Document doc, embed::Vector vec);
+
+  std::vector<text::Document> docs_;
+  std::vector<embed::Vector> vecs_;
+  std::size_t dim_ = 0;
+};
+
+}  // namespace pkb::vectordb

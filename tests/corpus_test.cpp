@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "corpus/api_spec.h"
+#include "corpus/generator.h"
+#include "corpus/questions.h"
+#include "text/markdown.h"
+#include "util/strings.h"
+
+namespace pkb::corpus {
+namespace {
+
+TEST(ApiTable, IsLargeAndUnique) {
+  const auto& table = api_table();
+  EXPECT_GE(table.size(), 90u);
+  std::unordered_set<std::string> names;
+  for (const ApiSpec& spec : table) {
+    EXPECT_TRUE(names.insert(spec.name).second)
+        << "duplicate spec: " << spec.name;
+  }
+}
+
+TEST(ApiTable, EverySpecIsWellFormed) {
+  for (const ApiSpec& spec : api_table()) {
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_FALSE(spec.summary.empty()) << spec.name;
+    EXPECT_FALSE(spec.notes.empty()) << spec.name;
+    EXPECT_GE(spec.popularity, 0.0) << spec.name;
+    EXPECT_LE(spec.popularity, 1.0) << spec.name;
+  }
+}
+
+TEST(ApiTable, FindSpecExact) {
+  ASSERT_NE(find_spec("KSPGMRES"), nullptr);
+  EXPECT_EQ(find_spec("KSPGMRES")->kind, ApiKind::SolverType);
+  ASSERT_NE(find_spec("-info"), nullptr);
+  EXPECT_EQ(find_spec("-info")->kind, ApiKind::Option);
+  EXPECT_EQ(find_spec("KSPBurb"), nullptr);
+  EXPECT_EQ(find_spec(""), nullptr);
+}
+
+TEST(ApiTable, FindSpecFuzzyHandlesTyposAndBareNames) {
+  // Typo within edit distance 2.
+  const ApiSpec* typo = find_spec_fuzzy("KSPGMRS");
+  ASSERT_NE(typo, nullptr);
+  EXPECT_EQ(typo->name, "KSPGMRES");
+  // Bare algorithm name resolves through the class prefix.
+  const ApiSpec* bare = find_spec_fuzzy("GMRES");
+  ASSERT_NE(bare, nullptr);
+  EXPECT_EQ(bare->name, "KSPGMRES");
+  const ApiSpec* lsqr = find_spec_fuzzy("lsqr");
+  ASSERT_NE(lsqr, nullptr);
+  EXPECT_EQ(lsqr->name, "KSPLSQR");
+  // Fictitious name stays unresolved.
+  EXPECT_EQ(find_spec_fuzzy("KSPBurb"), nullptr);
+}
+
+TEST(ApiTable, KnownSymbolUniverse) {
+  EXPECT_TRUE(is_known_symbol("KSPSolve"));
+  EXPECT_TRUE(is_known_symbol("-ksp_monitor"));
+  // see-also references without their own page are known.
+  EXPECT_TRUE(is_known_symbol("KSPGMRESSetRestart"));
+  // Symbols that only occur in corpus prose are known.
+  EXPECT_TRUE(is_known_symbol("MATAIJ"));
+  // Fabrications are not.
+  EXPECT_FALSE(is_known_symbol("KSPBurb"));
+  EXPECT_FALSE(is_known_symbol("KSPSolveBlocked"));
+  EXPECT_FALSE(is_known_symbol("-ksp_burb_factor"));
+}
+
+TEST(ApiTable, ManualPagePathsByKind) {
+  EXPECT_EQ(manual_page_path(*find_spec("KSPGMRES")),
+            "manualpages/KSP/KSPGMRES.md");
+  EXPECT_EQ(manual_page_path(*find_spec("PCJACOBI")),
+            "manualpages/PC/PCJACOBI.md");
+  EXPECT_EQ(manual_page_path(*find_spec("MatSetValues")),
+            "manualpages/Mat/MatSetValues.md");
+  EXPECT_EQ(manual_page_path(*find_spec("-info")),
+            "manualpages/Options/info.md");
+  EXPECT_EQ(manual_page_path(*find_spec("SNESSolve")),
+            "manualpages/SNES/SNESSolve.md");
+  EXPECT_EQ(manual_page_path(*find_spec("PetscInitialize")),
+            "manualpages/Sys/PetscInitialize.md");
+}
+
+TEST(Generator, RendersManualPageStructure) {
+  const std::string md = render_manual_page(*find_spec("KSPLSQR"));
+  EXPECT_NE(md.find("# KSPLSQR"), std::string::npos);
+  EXPECT_NE(md.find("## Synopsis"), std::string::npos);
+  EXPECT_NE(md.find("## Notes"), std::string::npos);
+  EXPECT_NE(md.find("## See Also"), std::string::npos);
+  EXPECT_NE(md.find("rectangular"), std::string::npos);
+  // Valid Markdown: parses into multiple blocks.
+  EXPECT_GT(text::parse_markdown(md).size(), 5u);
+}
+
+TEST(Generator, CorpusContainsAllPageFamilies) {
+  const text::VirtualDir tree = generate_corpus();
+  EXPECT_GE(tree.size(), api_table().size());
+  bool has_manual = false;
+  bool has_chapter = false;
+  bool has_faq = false;
+  bool has_tutorial = false;
+  for (const auto& file : tree) {
+    if (file.path.starts_with("manualpages/")) has_manual = true;
+    if (file.path == "docs/manual/ksp.md") has_chapter = true;
+    if (file.path == "docs/faq.md") has_faq = true;
+    if (file.path.starts_with("docs/tutorials/")) has_tutorial = true;
+    EXPECT_FALSE(file.content.empty()) << file.path;
+  }
+  EXPECT_TRUE(has_manual);
+  EXPECT_TRUE(has_chapter);
+  EXPECT_TRUE(has_faq);
+  EXPECT_TRUE(has_tutorial);
+}
+
+TEST(Generator, Deterministic) {
+  const text::VirtualDir a = generate_corpus();
+  const text::VirtualDir b = generate_corpus();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].path, b[i].path);
+    EXPECT_EQ(a[i].content, b[i].content);
+  }
+}
+
+TEST(Generator, OptionsCanDisableFamilies) {
+  CorpusOptions opts;
+  opts.include_faq = false;
+  opts.include_tutorial = false;
+  for (const auto& file : generate_corpus(opts)) {
+    EXPECT_NE(file.path, "docs/faq.md");
+    EXPECT_FALSE(file.path.starts_with("docs/tutorials/"));
+  }
+}
+
+TEST(Generator, CaseStudyDecisiveSentencesPresent) {
+  // Case study 1 (Fig 7): the least-squares escape hatch.
+  const std::string ksp_chapter = render_ksp_chapter();
+  EXPECT_NE(ksp_chapter.find(
+                "KSP can also be used to solve least squares problems"),
+            std::string::npos);
+  EXPECT_NE(ksp_chapter.find("KSPLSQR"), std::string::npos);
+  // Case study 2 (Fig 8): the -info preallocation paragraph.
+  const std::string mat_chapter = render_mat_chapter();
+  EXPECT_NE(mat_chapter.find("the option -info will print information about "
+                             "the success of preallocation"),
+            std::string::npos);
+}
+
+TEST(Benchmark, ThirtySevenQuestions) {
+  const auto& qs = krylov_benchmark();
+  ASSERT_EQ(qs.size(), 37u);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(qs[i].id, static_cast<int>(i) + 1);
+    EXPECT_FALSE(qs[i].question.empty());
+    EXPECT_FALSE(qs[i].required_facts.empty()) << "Q" << qs[i].id;
+    EXPECT_FALSE(qs[i].decisive_symbol.empty()) << "Q" << qs[i].id;
+    EXPECT_GE(qs[i].popularity, 0.0);
+    EXPECT_LE(qs[i].popularity, 1.0);
+  }
+}
+
+TEST(Benchmark, DecisiveSymbolsResolveToRealSpecs) {
+  for (const BenchmarkQuestion& q : krylov_benchmark()) {
+    EXPECT_NE(find_spec(q.decisive_symbol), nullptr)
+        << "Q" << q.id << " decisive symbol " << q.decisive_symbol;
+  }
+}
+
+TEST(Benchmark, RequiredFactsExistSomewhereInTheCorpus) {
+  // Every required fact must be answerable from the knowledge base: some
+  // corpus file must contain at least one alternative of each fact.
+  const text::VirtualDir tree = generate_corpus();
+  std::string all;
+  for (const auto& file : tree) all += file.content;
+  const std::string all_lower = pkb::util::to_lower(all);
+  for (const BenchmarkQuestion& q : krylov_benchmark()) {
+    for (const std::string& fact : q.required_facts) {
+      bool found = false;
+      for (std::string_view alt : pkb::util::split(fact, '|')) {
+        if (all_lower.find(pkb::util::to_lower(pkb::util::trim(alt))) !=
+            std::string::npos) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "Q" << q.id << " fact not in corpus: " << fact;
+    }
+  }
+}
+
+TEST(Benchmark, KspburbIsAdversarial) {
+  const BenchmarkQuestion& q = kspburb_question();
+  EXPECT_NE(q.question.find("KSPBurb"), std::string::npos);
+  EXPECT_FALSE(is_known_symbol("KSPBurb"));
+  EXPECT_DOUBLE_EQ(q.popularity, 0.0);
+}
+
+}  // namespace
+}  // namespace pkb::corpus

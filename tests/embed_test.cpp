@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "corpus/generator.h"
+#include "embed/blend.h"
+#include "embed/embedder.h"
+#include "embed/hashing.h"
+#include "embed/lsa.h"
+#include "embed/tfidf.h"
+#include "text/loader.h"
+
+namespace pkb::embed {
+namespace {
+
+std::vector<text::Document> small_corpus() {
+  return {
+      {"a", "conjugate gradient method for symmetric positive definite "
+            "matrices with short recurrences", {}},
+      {"b", "generalized minimal residual GMRES method restarts for "
+            "nonsymmetric matrices", {}},
+      {"c", "least squares problems with rectangular matrices solved by "
+            "LSQR bidiagonalization", {}},
+      {"d", "matrix preallocation and assembly performance with "
+            "MatSetValues and mallocs", {}},
+      {"e", "multigrid preconditioning with smoothers and coarse grid "
+            "solves", {}},
+  };
+}
+
+TEST(VectorOps, DotNormCosine) {
+  const Vector a = {1.0f, 0.0f, 2.0f};
+  const Vector b = {0.0f, 3.0f, 4.0f};
+  EXPECT_FLOAT_EQ(dot(a, b), 8.0f);
+  EXPECT_FLOAT_EQ(norm(a), std::sqrt(5.0f));
+  EXPECT_NEAR(cosine(a, b), 8.0f / (std::sqrt(5.0f) * 5.0f), 1e-6);
+  EXPECT_THROW(dot(a, Vector{1.0f}), std::invalid_argument);
+}
+
+TEST(VectorOps, CosineOfZeroVectorIsZero) {
+  EXPECT_FLOAT_EQ(cosine({0.0f, 0.0f}, {1.0f, 0.0f}), 0.0f);
+}
+
+TEST(VectorOps, NormalizeMakesUnitNorm) {
+  Vector v = {3.0f, 4.0f};
+  l2_normalize(v);
+  EXPECT_NEAR(norm(v), 1.0f, 1e-6);
+  Vector zero = {0.0f, 0.0f};
+  l2_normalize(zero);  // must not divide by zero
+  EXPECT_FLOAT_EQ(norm(zero), 0.0f);
+}
+
+class EmbedderParamTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EmbedderParamTest, OutputsAreUnitNorm) {
+  auto embedder = make_embedder(GetParam());
+  embedder->fit(small_corpus());
+  for (const auto& doc : small_corpus()) {
+    const Vector v = embedder->embed(doc.text);
+    EXPECT_EQ(v.size(), embedder->dimension());
+    EXPECT_NEAR(norm(v), 1.0f, 1e-4) << GetParam();
+  }
+}
+
+TEST_P(EmbedderParamTest, Deterministic) {
+  auto e1 = make_embedder(GetParam());
+  auto e2 = make_embedder(GetParam());
+  e1->fit(small_corpus());
+  e2->fit(small_corpus());
+  EXPECT_EQ(e1->embed("conjugate gradient"), e2->embed("conjugate gradient"));
+}
+
+TEST_P(EmbedderParamTest, SelfSimilarityIsMaximal) {
+  auto embedder = make_embedder(GetParam());
+  embedder->fit(small_corpus());
+  const std::string text = small_corpus()[0].text;
+  const float self = cosine(embedder->embed(text), embedder->embed(text));
+  EXPECT_NEAR(self, 1.0f, 1e-4);
+}
+
+TEST_P(EmbedderParamTest, TopicallySimilarBeatsDissimilar) {
+  auto embedder = make_embedder(GetParam());
+  embedder->fit(small_corpus());
+  const Vector query =
+      embedder->embed("symmetric positive definite conjugate gradient");
+  const Vector on_topic = embedder->embed(small_corpus()[0].text);
+  const Vector off_topic = embedder->embed(small_corpus()[3].text);
+  EXPECT_GT(cosine(query, on_topic), cosine(query, off_topic)) << GetParam();
+}
+
+TEST_P(EmbedderParamTest, BatchMatchesSingle) {
+  auto embedder = make_embedder(GetParam());
+  const auto docs = small_corpus();
+  embedder->fit(docs);
+  const auto batch = embedder->embed_batch(docs);
+  ASSERT_EQ(batch.size(), docs.size());
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_EQ(batch[i], embedder->embed(docs[i].text));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, EmbedderParamTest,
+                         ::testing::Values("sim-tfidf", "sim-hash-512",
+                                           "sim-lsa-16", "sim-charngram-512",
+                                           "sim-blend-16-128-w25"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Vocabulary, FitCountsDocumentFrequencies) {
+  Vocabulary vocab;
+  vocab.fit(small_corpus());
+  EXPECT_EQ(vocab.doc_count(), 5u);
+  EXPECT_NE(vocab.id_of("matrices"), Vocabulary::npos);
+  EXPECT_EQ(vocab.id_of("nonexistentterm"), Vocabulary::npos);
+  // Rare terms have higher IDF than common ones.
+  EXPECT_GT(vocab.idf_of("lsqr"), vocab.idf_of("matrices"));
+  EXPECT_FLOAT_EQ(vocab.idf_of("nonexistentterm"), 0.0f);
+}
+
+TEST(Vocabulary, MinDfFiltersRareTerms) {
+  Vocabulary strict;
+  strict.fit(small_corpus(), /*min_df=*/2);
+  EXPECT_EQ(strict.id_of("lsqr"), Vocabulary::npos);  // appears once
+  EXPECT_NE(strict.id_of("matrices"), Vocabulary::npos);
+}
+
+TEST(Vocabulary, TfidfSparseVectorIsNormalized) {
+  Vocabulary vocab;
+  vocab.fit(small_corpus());
+  const auto sparse = vocab.tfidf("conjugate gradient method");
+  double norm_sq = 0.0;
+  for (const auto& [id, w] : sparse) norm_sq += static_cast<double>(w) * w;
+  EXPECT_NEAR(norm_sq, 1.0, 1e-5);
+}
+
+TEST(Tfidf, EmbedBeforeFitThrows) {
+  TfidfEmbedder embedder;
+  EXPECT_THROW((void)embedder.embed("text"), std::logic_error);
+}
+
+TEST(Tfidf, UnknownTermsEmbedToZero) {
+  TfidfEmbedder embedder;
+  embedder.fit(small_corpus());
+  const Vector v = embedder.embed("zzz qqq www");
+  EXPECT_FLOAT_EQ(norm(v), 0.0f);
+}
+
+TEST(Lsa, CapturesTopicalSimilarityWithoutSharedTerms) {
+  // "SPD solver" and the CG document share topic terms via co-occurrence.
+  LsaEmbedder lsa(4, 8);
+  lsa.fit(small_corpus());
+  EXPECT_EQ(lsa.dimension(), 4u);
+  const float on = cosine(lsa.embed("symmetric positive definite"),
+                          lsa.embed(small_corpus()[0].text));
+  const float off = cosine(lsa.embed("symmetric positive definite"),
+                           lsa.embed(small_corpus()[2].text));
+  EXPECT_GT(on, off);
+}
+
+TEST(Lsa, InvalidParamsThrow) {
+  EXPECT_THROW(LsaEmbedder(0), std::invalid_argument);
+  EXPECT_THROW(LsaEmbedder(4, 0), std::invalid_argument);
+}
+
+TEST(Hashing, DimensionIsRespected) {
+  HashEmbedder h(64);
+  EXPECT_EQ(h.dimension(), 64u);
+  h.fit({});
+  EXPECT_EQ(h.embed("some text").size(), 64u);
+  EXPECT_THROW(HashEmbedder(0), std::invalid_argument);
+}
+
+TEST(CharNgram, TypoRobustness) {
+  CharNgramEmbedder e(512);
+  e.fit({});
+  // A one-character typo stays closer than a different symbol.
+  const float typo = cosine(e.embed("KSPGMRES"), e.embed("KSPGMRS"));
+  const float other = cosine(e.embed("KSPGMRES"), e.embed("PCJACOBI"));
+  EXPECT_GT(typo, other);
+  EXPECT_GT(typo, 0.5f);
+}
+
+TEST(Blend, CosineDecomposes) {
+  BlendEmbedder blend(4, 64, 0.5);
+  blend.fit(small_corpus());
+  EXPECT_EQ(blend.dimension(), 4u + 64u);
+  const Vector v = blend.embed(small_corpus()[1].text);
+  EXPECT_NEAR(norm(v), 1.0f, 1e-4);
+}
+
+TEST(Blend, InvalidWeightThrows) {
+  EXPECT_THROW(BlendEmbedder(4, 64, -0.1), std::invalid_argument);
+  EXPECT_THROW(BlendEmbedder(4, 64, 1.5), std::invalid_argument);
+}
+
+TEST(Registry, KnownNamesConstruct) {
+  for (const std::string& name : embedder_registry()) {
+    EXPECT_NO_THROW((void)make_embedder(name)) << name;
+  }
+  EXPECT_NO_THROW((void)make_embedder("sim-lsa-20"));
+  EXPECT_NO_THROW((void)make_embedder("sim-blend-32-256-w10"));
+  EXPECT_THROW((void)make_embedder("nope"), std::invalid_argument);
+  EXPECT_THROW((void)make_embedder("sim-blend-x-y-wz"), std::invalid_argument);
+}
+
+TEST(Registry, PaperAliasesResolve) {
+  EXPECT_NO_THROW((void)make_embedder("sim-embed-3-large"));
+  EXPECT_NO_THROW((void)make_embedder("sim-embed-3-small"));
+  EXPECT_NO_THROW((void)make_embedder("sim-embed-ada"));
+}
+
+}  // namespace
+}  // namespace pkb::embed

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "history/store.h"
+
+namespace pkb::history {
+namespace {
+
+InteractionRecord make_record(const std::string& question,
+                              const std::string& pipeline) {
+  InteractionRecord r;
+  r.timestamp = 100.0;
+  r.question = question;
+  r.response = "answer to " + question;
+  r.model = "sim-gpt-4o";
+  r.embedding_model = "sim-embed-3-large";
+  r.reranker = "sim-flashrank";
+  r.pipeline = pipeline;
+  r.prompt = "prompt for " + question;
+  r.context_ids = {"a#0", "b#1"};
+  r.latency_seconds = 9.5;
+  return r;
+}
+
+TEST(HistoryStore, AddAssignsSequentialIds) {
+  HistoryStore store;
+  EXPECT_EQ(store.add(make_record("q1", "rag")), 1u);
+  EXPECT_EQ(store.add(make_record("q2", "rag")), 2u);
+  EXPECT_EQ(store.size(), 2u);
+  ASSERT_NE(store.get(1), nullptr);
+  EXPECT_EQ(store.get(1)->question, "q1");
+  EXPECT_EQ(store.get(99), nullptr);
+}
+
+TEST(HistoryStore, SearchIsCaseInsensitiveOverQandA) {
+  HistoryStore store;
+  store.add(make_record("How do I use KSPLSQR?", "rag"));
+  store.add(make_record("GMRES restart question", "rag"));
+  EXPECT_EQ(store.search("ksplsqr").size(), 1u);
+  EXPECT_EQ(store.search("ANSWER").size(), 2u);  // matches responses
+  EXPECT_TRUE(store.search("nothing-here").empty());
+}
+
+TEST(HistoryStore, ByPipelineFilters) {
+  HistoryStore store;
+  store.add(make_record("q1", "baseline"));
+  store.add(make_record("q2", "rag+rerank"));
+  store.add(make_record("q3", "rag+rerank"));
+  EXPECT_EQ(store.by_pipeline("rag+rerank").size(), 2u);
+  EXPECT_EQ(store.by_pipeline("baseline").size(), 1u);
+  EXPECT_TRUE(store.by_pipeline("nope").empty());
+}
+
+TEST(HistoryStore, BlindBatchAnonymizesAndShuffles) {
+  HistoryStore store;
+  for (int i = 0; i < 20; ++i) {
+    store.add(make_record("question " + std::to_string(i), "rag"));
+  }
+  const auto batch = store.blind_batch("rag", 42);
+  ASSERT_EQ(batch.size(), 20u);
+  // Shuffled: some item is out of insertion order.
+  bool out_of_order = false;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].record_id != i + 1) out_of_order = true;
+  }
+  EXPECT_TRUE(out_of_order);
+  // Deterministic for the same seed.
+  const auto batch2 = store.blind_batch("rag", 42);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].record_id, batch2[i].record_id);
+  }
+}
+
+TEST(HistoryStore, ScoringWorkflow) {
+  HistoryStore store;
+  const auto id = store.add(make_record("q", "rag"));
+  EXPECT_FALSE(store.mean_score(id).has_value());
+  EXPECT_TRUE(store.record_score(id, {"alice", 4, "ideal"}));
+  EXPECT_TRUE(store.record_score(id, {"bob", 2, "partial"}));
+  EXPECT_DOUBLE_EQ(store.mean_score(id).value(), 3.0);
+  // Range and id validation.
+  EXPECT_FALSE(store.record_score(id, {"carol", 5, ""}));
+  EXPECT_FALSE(store.record_score(id, {"carol", -1, ""}));
+  EXPECT_FALSE(store.record_score(999, {"carol", 3, ""}));
+}
+
+TEST(HistoryStore, JsonRoundTripPreservesEverything) {
+  HistoryStore store;
+  const auto id = store.add(make_record("round trip?", "rag+rerank"));
+  store.record_score(id, {"alice", 3, "good"});
+  const HistoryStore loaded = HistoryStore::from_json(store.to_json());
+  ASSERT_EQ(loaded.size(), 1u);
+  const InteractionRecord* r = loaded.get(id);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->question, "round trip?");
+  EXPECT_EQ(r->pipeline, "rag+rerank");
+  EXPECT_EQ(r->context_ids, (std::vector<std::string>{"a#0", "b#1"}));
+  EXPECT_DOUBLE_EQ(r->latency_seconds, 9.5);
+  ASSERT_EQ(r->scores.size(), 1u);
+  EXPECT_EQ(r->scores[0].scorer, "alice");
+  EXPECT_EQ(r->scores[0].score, 3);
+  // Ids keep incrementing after reload.
+  HistoryStore mutable_loaded = loaded;
+  EXPECT_EQ(mutable_loaded.add(make_record("next", "rag")), id + 1);
+}
+
+TEST(HistoryStore, FilePersistence) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::temp_directory_path() / "pkb_history_test.json").string();
+  HistoryStore store;
+  store.add(make_record("persisted?", "baseline"));
+  store.save(path);
+  const HistoryStore loaded = HistoryStore::load(path);
+  EXPECT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.get(1)->question, "persisted?");
+  fs::remove(path);
+  EXPECT_THROW((void)HistoryStore::load("/nonexistent/h.json"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pkb::history

@@ -1,0 +1,170 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pkb::util {
+namespace {
+
+TEST(Json, DefaultIsNull) {
+  Json j;
+  EXPECT_TRUE(j.is_null());
+  EXPECT_EQ(j.dump(), "null");
+}
+
+TEST(Json, ScalarConstructionAndDump) {
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(3).dump(), "3");
+  EXPECT_EQ(Json(3.5).dump(), "3.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegerValuedDoublesPrintWithoutDecimal) {
+  EXPECT_EQ(Json(1e6).dump(), "1000000");
+  EXPECT_EQ(Json(-42.0).dump(), "-42");
+}
+
+TEST(Json, ObjectInsertionOrderPreserved) {
+  Json obj = Json::object();
+  obj.set("z", 1).set("a", 2).set("m", 3);
+  EXPECT_EQ(obj.dump(), "{\"z\":1,\"a\":2,\"m\":3}");
+}
+
+TEST(Json, SetOverwritesExistingKey) {
+  Json obj = Json::object();
+  obj.set("k", 1);
+  obj.set("k", 2);
+  EXPECT_EQ(obj.size(), 1u);
+  EXPECT_EQ(obj.at("k").as_int(), 2);
+}
+
+TEST(Json, ArrayPushBack) {
+  Json arr = Json::array();
+  arr.push_back(1).push_back("two").push_back(Json());
+  EXPECT_EQ(arr.dump(), "[1,\"two\",null]");
+  EXPECT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr.at(1).as_string(), "two");
+}
+
+TEST(Json, TypedAccessorsThrowOnMismatch) {
+  Json s("str");
+  EXPECT_THROW(s.as_number(), JsonError);
+  EXPECT_THROW(s.as_array(), JsonError);
+  EXPECT_THROW(s.as_object(), JsonError);
+  EXPECT_THROW(Json(1.0).as_string(), JsonError);
+  EXPECT_THROW(Json().as_bool(), JsonError);
+}
+
+TEST(Json, AtThrowsForMissingKeyFindReturnsNull) {
+  Json obj = Json::object();
+  obj.set("present", 1);
+  EXPECT_EQ(obj.find("absent"), nullptr);
+  EXPECT_NE(obj.find("present"), nullptr);
+  EXPECT_THROW(obj.at("absent"), JsonError);
+}
+
+TEST(Json, GetHelpersFallBackToDefaults) {
+  Json obj = Json::object();
+  obj.set("s", "v").set("n", 2.5).set("b", true).set("i", 7);
+  EXPECT_EQ(obj.get_string("s"), "v");
+  EXPECT_EQ(obj.get_string("zz", "def"), "def");
+  EXPECT_DOUBLE_EQ(obj.get_number("n"), 2.5);
+  EXPECT_DOUBLE_EQ(obj.get_number("zz", -1), -1);
+  EXPECT_TRUE(obj.get_bool("b"));
+  EXPECT_EQ(obj.get_int("i"), 7);
+  // Wrong-typed value also falls back.
+  EXPECT_EQ(obj.get_string("n", "def"), "def");
+}
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5e2").as_number(), -250.0);
+  EXPECT_EQ(Json::parse("\"abc\"").as_string(), "abc");
+}
+
+TEST(Json, ParseNested) {
+  const Json j = Json::parse(R"({"a":[1,{"b":"x"},null],"c":{"d":true}})");
+  EXPECT_EQ(j.at("a").at(1).at("b").as_string(), "x");
+  EXPECT_TRUE(j.at("c").at("d").as_bool());
+  EXPECT_TRUE(j.at("a").at(2).is_null());
+}
+
+TEST(Json, ParseWhitespaceTolerant) {
+  const Json j = Json::parse("  {\n\t\"k\" :  [ 1 , 2 ]\r\n}  ");
+  EXPECT_EQ(j.at("k").size(), 2u);
+}
+
+TEST(Json, ParseStringEscapes) {
+  const Json j = Json::parse(R"("line\nbreak\t\"q\" \\ \/ A")");
+  EXPECT_EQ(j.as_string(), "line\nbreak\t\"q\" \\ / A");
+}
+
+TEST(Json, ParseUnicodeEscapeToUtf8) {
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");  // e-acute
+  EXPECT_EQ(Json::parse(R"("€")").as_string(), "\xe2\x82\xac");  // euro
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+  // Literal UTF-8 bytes pass through untouched.
+  EXPECT_EQ(Json::parse("\"\xc3\xa9\"").as_string(), "\xc3\xa9");
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("tru"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), JsonError);
+  EXPECT_THROW(Json::parse("{'single':1}"), JsonError);
+}
+
+TEST(Json, RoundTripCompact) {
+  const std::string src =
+      R"({"q":"What does KSPBurb do?","score":4,"tags":["rag","rerank"],"ok":true,"note":null})";
+  const Json j = Json::parse(src);
+  EXPECT_EQ(Json::parse(j.dump()), j);
+}
+
+TEST(Json, RoundTripPretty) {
+  Json obj = Json::object();
+  obj.set("arr", Json::array());
+  obj.at("arr");  // ensure access works
+  Json arr = Json::array();
+  arr.push_back(1).push_back(2);
+  obj.set("arr", std::move(arr));
+  obj.set("nested", Json::object().set("k", "v"));
+  const std::string pretty = obj.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(Json::parse(pretty), obj);
+}
+
+TEST(Json, EqualityIsStructural) {
+  EXPECT_EQ(Json::parse("[1,2]"), Json::parse("[1, 2]"));
+  EXPECT_NE(Json::parse("[1,2]"), Json::parse("[2,1]"));
+  EXPECT_NE(Json(1.0), Json("1"));
+}
+
+TEST(Json, EscapeControlCharacters) {
+  Json j(std::string("a\x01z"));
+  EXPECT_EQ(j.dump(), "\"a\\u0001z\"");
+  EXPECT_EQ(Json::parse(j.dump()), j);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::array().dump(), "[]");
+  EXPECT_EQ(Json::object().dump(), "{}");
+  EXPECT_EQ(Json::array().dump(2), "[]");
+  EXPECT_EQ(Json::parse("[]").size(), 0u);
+  EXPECT_EQ(Json::parse("{}").size(), 0u);
+}
+
+TEST(Json, NanSerializesAsNull) {
+  const Json j(std::nan(""));
+  EXPECT_EQ(j.dump(), "null");
+}
+
+}  // namespace
+}  // namespace pkb::util

@@ -1,0 +1,202 @@
+#include "text/splitter.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/strings.h"
+
+namespace pkb::text {
+namespace {
+
+TEST(Splitter, InvalidOptionsThrow) {
+  SplitterOptions bad;
+  bad.chunk_size = 0;
+  EXPECT_THROW(RecursiveCharacterTextSplitter{bad}, std::invalid_argument);
+  SplitterOptions overlap;
+  overlap.chunk_size = 10;
+  overlap.chunk_overlap = 10;
+  EXPECT_THROW(RecursiveCharacterTextSplitter{overlap}, std::invalid_argument);
+  SplitterOptions noseps;
+  noseps.separators.clear();
+  EXPECT_THROW(RecursiveCharacterTextSplitter{noseps}, std::invalid_argument);
+}
+
+TEST(Splitter, ShortTextSingleChunk) {
+  RecursiveCharacterTextSplitter splitter;
+  const auto chunks = splitter.split_text("short text");
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], "short text");
+}
+
+TEST(Splitter, EmptyAndWhitespaceYieldNothing) {
+  RecursiveCharacterTextSplitter splitter;
+  EXPECT_TRUE(splitter.split_text("").empty());
+  EXPECT_TRUE(splitter.split_text("  \n\n \t ").empty());
+}
+
+TEST(Splitter, PrefersParagraphBoundaries) {
+  SplitterOptions opts;
+  opts.chunk_size = 30;
+  opts.chunk_overlap = 0;
+  RecursiveCharacterTextSplitter splitter(opts);
+  const auto chunks =
+      splitter.split_text("first paragraph here\n\nsecond paragraph here");
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0], "first paragraph here");
+  EXPECT_EQ(chunks[1], "second paragraph here");
+}
+
+TEST(Splitter, FallsBackToWordsWhenLinesTooLong) {
+  SplitterOptions opts;
+  opts.chunk_size = 12;
+  opts.chunk_overlap = 0;
+  RecursiveCharacterTextSplitter splitter(opts);
+  const auto chunks = splitter.split_text("alpha beta gamma delta epsilon");
+  ASSERT_GE(chunks.size(), 2u);
+  for (const auto& c : chunks) EXPECT_LE(c.size(), 12u);
+}
+
+TEST(Splitter, UnbreakableTokenSurvivesIntact) {
+  SplitterOptions opts;
+  opts.chunk_size = 8;
+  opts.chunk_overlap = 0;
+  opts.separators = {"\n\n", "\n", " "};  // no character-level fallback
+  RecursiveCharacterTextSplitter splitter(opts);
+  const auto chunks =
+      splitter.split_text("short averyverylongunbreakabletoken end");
+  bool found = false;
+  for (const auto& c : chunks) {
+    if (c == "averyverylongunbreakabletoken") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Splitter, CharacterLevelFallbackEnforcesLimit) {
+  SplitterOptions opts;
+  opts.chunk_size = 8;
+  opts.chunk_overlap = 0;
+  RecursiveCharacterTextSplitter splitter(opts);  // default seps end with ""
+  const auto chunks = splitter.split_text("abcdefghijklmnopqrstuvwxyz");
+  for (const auto& c : chunks) EXPECT_LE(c.size(), 8u);
+  // Reassembling the chunks recovers the original text.
+  std::string joined;
+  for (const auto& c : chunks) joined += c;
+  EXPECT_EQ(joined, "abcdefghijklmnopqrstuvwxyz");
+}
+
+TEST(Splitter, OverlapCarriesTailContext) {
+  SplitterOptions opts;
+  opts.chunk_size = 20;
+  opts.chunk_overlap = 8;
+  RecursiveCharacterTextSplitter splitter(opts);
+  const auto chunks = splitter.split_text("aa bb cc dd ee ff gg hh ii jj");
+  ASSERT_GE(chunks.size(), 2u);
+  // Each subsequent chunk must start with material from the previous one.
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    const std::string& prev = chunks[i - 1];
+    const auto first_word = pkb::util::split_ws(chunks[i])[0];
+    EXPECT_TRUE(prev.find(first_word) != std::string::npos)
+        << "chunk " << i << " does not overlap its predecessor";
+  }
+}
+
+TEST(Splitter, EveryChunkWithinLimitForProseCorpus) {
+  SplitterOptions opts;
+  opts.chunk_size = 100;
+  opts.chunk_overlap = 20;
+  RecursiveCharacterTextSplitter splitter(opts);
+  std::string text;
+  for (int i = 0; i < 50; ++i) {
+    text += "Sentence number " + std::to_string(i) +
+            " about Krylov subspace methods and preconditioners.\n";
+    if (i % 7 == 0) text += "\n";
+  }
+  const auto chunks = splitter.split_text(text);
+  ASSERT_GT(chunks.size(), 5u);
+  for (const auto& c : chunks) {
+    EXPECT_LE(c.size(), 100u);
+    EXPECT_FALSE(pkb::util::trim(c).empty());
+  }
+}
+
+TEST(Splitter, AllContentRepresented) {
+  SplitterOptions opts;
+  opts.chunk_size = 64;
+  opts.chunk_overlap = 16;
+  RecursiveCharacterTextSplitter splitter(opts);
+  const std::string text =
+      "KSPGMRES restarts every 30 iterations by default.\n\nKSPCG requires a "
+      "symmetric positive definite matrix.\n\nKSPLSQR solves least squares "
+      "problems with rectangular matrices.";
+  const auto chunks = splitter.split_text(text);
+  std::string all = pkb::util::join(chunks, " ");
+  EXPECT_NE(all.find("KSPGMRES"), std::string::npos);
+  EXPECT_NE(all.find("KSPCG"), std::string::npos);
+  EXPECT_NE(all.find("KSPLSQR"), std::string::npos);
+  EXPECT_NE(all.find("rectangular"), std::string::npos);
+}
+
+TEST(Splitter, SplitDocumentsInheritsAndExtendsMetadata) {
+  SplitterOptions opts;
+  opts.chunk_size = 24;
+  opts.chunk_overlap = 0;
+  RecursiveCharacterTextSplitter splitter(opts);
+  Document doc;
+  doc.id = "manual/ksp.md";
+  doc.text = "first piece of text\n\nsecond piece of text\n\nthird piece";
+  doc.metadata["source"] = "manual/ksp.md";
+  doc.metadata["title"] = "KSP";
+  const auto chunks = splitter.split_documents({doc});
+  ASSERT_GE(chunks.size(), 2u);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].id,
+              "manual/ksp.md#" + std::to_string(i));
+    EXPECT_EQ(chunks[i].meta("title"), "KSP");
+    EXPECT_EQ(chunks[i].meta("source"), "manual/ksp.md");
+    EXPECT_EQ(chunks[i].meta("chunk_index"), std::to_string(i));
+  }
+}
+
+TEST(Splitter, SplitDocumentsAddsSourceWhenMissing) {
+  RecursiveCharacterTextSplitter splitter;
+  Document doc;
+  doc.id = "anon-doc";
+  doc.text = "content";
+  const auto chunks = splitter.split_documents({doc});
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].meta("source"), "anon-doc");
+}
+
+class SplitterParamTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(SplitterParamTest, ChunkSizeInvariantHoldsAcrossConfigs) {
+  const auto [size, overlap] = GetParam();
+  SplitterOptions opts;
+  opts.chunk_size = size;
+  opts.chunk_overlap = overlap;
+  RecursiveCharacterTextSplitter splitter(opts);
+  std::string text;
+  for (int i = 0; i < 40; ++i) {
+    text += "Iterative solvers such as GMRES and CG dominate sparse linear "
+            "algebra. ";
+    if (i % 5 == 4) text += "\n\n";
+  }
+  for (const auto& c : splitter.split_text(text)) {
+    EXPECT_LE(c.size(), size);
+    EXPECT_FALSE(c.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SplitterParamTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{50, 0},
+                      std::pair<std::size_t, std::size_t>{50, 10},
+                      std::pair<std::size_t, std::size_t>{100, 25},
+                      std::pair<std::size_t, std::size_t>{200, 50},
+                      std::pair<std::size_t, std::size_t>{1000, 150},
+                      std::pair<std::size_t, std::size_t>{2000, 400}));
+
+}  // namespace
+}  // namespace pkb::text

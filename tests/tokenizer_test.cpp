@@ -1,0 +1,120 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace pkb::text {
+namespace {
+
+TEST(Tokenizer, LowercasesProse) {
+  const auto toks = tokens_of("How Do I Solve");
+  EXPECT_EQ(toks, (std::vector<std::string>{"how", "do", "i", "solve"}));
+}
+
+TEST(Tokenizer, KeepsApiSymbolsAsSingleTokens) {
+  const auto tt = tokenize("Call KSPSetType before KSPSolve.");
+  EXPECT_EQ(tt.symbols, (std::vector<std::string>{"KSPSetType", "KSPSolve"}));
+  EXPECT_NE(std::find(tt.tokens.begin(), tt.tokens.end(), "kspsettype"),
+            tt.tokens.end());
+}
+
+TEST(Tokenizer, KeepsRuntimeOptions) {
+  const auto tt = tokenize("run with -ksp_monitor and -pc_type jacobi");
+  EXPECT_NE(std::find(tt.symbols.begin(), tt.symbols.end(), "-ksp_monitor"),
+            tt.symbols.end());
+  EXPECT_NE(std::find(tt.symbols.begin(), tt.symbols.end(), "-pc_type"),
+            tt.symbols.end());
+  // plain words are not symbols
+  EXPECT_EQ(std::find(tt.symbols.begin(), tt.symbols.end(), "jacobi"),
+            tt.symbols.end());
+}
+
+TEST(Tokenizer, SymbolsDeduplicatedInFirstAppearanceOrder) {
+  const auto tt = tokenize("KSPSolve then KSPGMRES then KSPSolve again");
+  EXPECT_EQ(tt.symbols, (std::vector<std::string>{"KSPSolve", "KSPGMRES"}));
+}
+
+TEST(Tokenizer, StopwordRemovalOnlyWhenRequested) {
+  TokenizerOptions opts;
+  opts.drop_stopwords = true;
+  const auto toks = tokens_of("what is the matrix", opts);
+  EXPECT_EQ(toks, (std::vector<std::string>{"matrix"}));
+  const auto all = tokens_of("what is the matrix");
+  EXPECT_EQ(all.size(), 4u);
+}
+
+TEST(Tokenizer, MinTokenLengthFilter) {
+  TokenizerOptions opts;
+  opts.min_token_len = 3;
+  const auto toks = tokens_of("a bb ccc dddd", opts);
+  EXPECT_EQ(toks, (std::vector<std::string>{"ccc", "dddd"}));
+}
+
+TEST(Tokenizer, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(tokens_of("").empty());
+  EXPECT_TRUE(tokens_of("... !!! ???").empty());
+}
+
+TEST(Tokenizer, DoubleDashProseSeparatorNotAnOption) {
+  const auto tt = tokenize("yes -- and no");
+  EXPECT_TRUE(tt.symbols.empty());
+}
+
+TEST(LooksLikeSymbol, Positive) {
+  EXPECT_TRUE(looks_like_symbol("KSPSolve"));
+  EXPECT_TRUE(looks_like_symbol("KSPGMRES"));
+  EXPECT_TRUE(looks_like_symbol("MatSetValues"));
+  EXPECT_TRUE(looks_like_symbol("-ksp_type"));
+  EXPECT_TRUE(looks_like_symbol("-info"));
+  EXPECT_TRUE(looks_like_symbol("PetscCall"));
+}
+
+TEST(LooksLikeSymbol, Negative) {
+  EXPECT_FALSE(looks_like_symbol("solver"));
+  EXPECT_FALSE(looks_like_symbol("Solve"));     // no interior capital
+  EXPECT_FALSE(looks_like_symbol("GPU"));       // short ALLCAPS
+  EXPECT_FALSE(looks_like_symbol("a"));
+  EXPECT_FALSE(looks_like_symbol("-x"));        // too short for an option
+  EXPECT_FALSE(looks_like_symbol("matrix"));
+}
+
+TEST(SplitSentences, BasicSplit) {
+  const auto sents = split_sentences("First one. Second one? Third!");
+  ASSERT_EQ(sents.size(), 3u);
+  EXPECT_EQ(sents[0], "First one.");
+  EXPECT_EQ(sents[1], "Second one?");
+  EXPECT_EQ(sents[2], "Third!");
+}
+
+TEST(SplitSentences, AbbreviationsDoNotSplit) {
+  const auto sents =
+      split_sentences("Use a solver, e.g. GMRES, for this. Then stop.");
+  ASSERT_EQ(sents.size(), 2u);
+  EXPECT_EQ(sents[1], "Then stop.");
+}
+
+TEST(SplitSentences, NoTerminalPunctuation) {
+  const auto sents = split_sentences("no punctuation here");
+  ASSERT_EQ(sents.size(), 1u);
+}
+
+TEST(SplitSentences, PeriodInsideIdentifierDoesNotSplit) {
+  const auto sents = split_sentences("See src/ksp/ksp.c for details. Done.");
+  ASSERT_EQ(sents.size(), 2u);
+}
+
+TEST(ApproxLlmTokens, ScalesWithWords) {
+  const std::size_t small = approx_llm_tokens("three word phrase");
+  const std::size_t big =
+      approx_llm_tokens("a considerably longer phrase with many more words");
+  EXPECT_GT(big, small);
+  EXPECT_GE(small, 3u);
+}
+
+TEST(ApproxLlmTokens, EmptyIsCheap) {
+  EXPECT_LE(approx_llm_tokens(""), 1u);
+}
+
+}  // namespace
+}  // namespace pkb::text

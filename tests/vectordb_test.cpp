@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "embed/tfidf.h"
+#include "util/rng.h"
+#include "vectordb/ivf.h"
+#include "vectordb/vector_store.h"
+
+namespace pkb::vectordb {
+namespace {
+
+using embed::Vector;
+
+VectorStore random_store(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  pkb::util::Rng rng(seed);
+  VectorStore store;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector v(dim);
+    for (float& x : v) x = static_cast<float>(rng.normal());
+    text::Document doc;
+    doc.id = "doc-" + std::to_string(i);
+    doc.metadata["parity"] = (i % 2 == 0) ? "even" : "odd";
+    store.add(std::move(doc), std::move(v));
+  }
+  return store;
+}
+
+TEST(VectorStore, AddNormalizesAndChecksDimensions) {
+  VectorStore store;
+  store.add({"a", "", {}}, {3.0f, 4.0f});
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.dimension(), 2u);
+  EXPECT_NEAR(embed::norm(store.vec(0)), 1.0f, 1e-6);
+  EXPECT_THROW(store.add({"b", "", {}}, {1.0f, 2.0f, 3.0f}),
+               std::invalid_argument);
+}
+
+TEST(VectorStore, TopKOrderingAndScores) {
+  VectorStore store;
+  store.add({"x", "", {}}, {1.0f, 0.0f});
+  store.add({"y", "", {}}, {0.0f, 1.0f});
+  store.add({"xy", "", {}}, {1.0f, 1.0f});
+  const auto hits = store.similarity_search({1.0f, 0.0f}, 3);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].doc->id, "x");
+  EXPECT_EQ(hits[1].doc->id, "xy");
+  EXPECT_EQ(hits[2].doc->id, "y");
+  EXPECT_NEAR(hits[0].score, 1.0f, 1e-6);
+  EXPECT_NEAR(hits[1].score, std::sqrt(0.5f), 1e-5);
+  EXPECT_NEAR(hits[2].score, 0.0f, 1e-6);
+}
+
+TEST(VectorStore, KLargerThanSizeReturnsAll) {
+  const VectorStore store = random_store(5, 8, 1);
+  EXPECT_EQ(store.similarity_search(store.vec(0), 100).size(), 5u);
+  EXPECT_TRUE(store.similarity_search(store.vec(0), 0).empty());
+}
+
+TEST(VectorStore, QueryDimensionMismatchThrows) {
+  const VectorStore store = random_store(3, 8, 2);
+  EXPECT_THROW((void)store.similarity_search(Vector(4, 1.0f), 2),
+               std::invalid_argument);
+}
+
+TEST(VectorStore, MetadataFilterRestrictsResults) {
+  const VectorStore store = random_store(20, 8, 3);
+  const MetadataFilter filter = [](const text::Metadata& meta) {
+    auto it = meta.find("parity");
+    return it != meta.end() && it->second == "even";
+  };
+  const auto hits = store.similarity_search(store.vec(1), 10, &filter);
+  ASSERT_FALSE(hits.empty());
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.doc->meta("parity"), "even");
+  }
+}
+
+TEST(VectorStore, TopOneIsSelfForExactQuery) {
+  const VectorStore store = random_store(50, 16, 4);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto hits = store.similarity_search(store.vec(i), 1);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].index, i);
+  }
+}
+
+TEST(VectorStore, FindId) {
+  const VectorStore store = random_store(5, 4, 5);
+  EXPECT_EQ(store.find_id("doc-3").value(), 3u);
+  EXPECT_FALSE(store.find_id("nope").has_value());
+}
+
+TEST(VectorStore, FromDocumentsEmbedsEverything) {
+  std::vector<text::Document> docs = {
+      {"1", "conjugate gradient symmetric", {}},
+      {"2", "gmres restart nonsymmetric", {}},
+      {"3", "least squares rectangular", {}},
+  };
+  embed::TfidfEmbedder embedder;
+  embedder.fit(docs);
+  const VectorStore store = VectorStore::from_documents(docs, embedder);
+  EXPECT_EQ(store.size(), 3u);
+  const auto hits =
+      store.similarity_search(embedder.embed("rectangular least squares"), 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].doc->id, "3");
+}
+
+TEST(VectorStore, SaveLoadRoundTrip) {
+  namespace fs = std::filesystem;
+  const VectorStore store = random_store(12, 6, 6);
+  const std::string path =
+      (fs::temp_directory_path() / "pkb_store_test.bin").string();
+  store.save(path);
+  const VectorStore loaded = VectorStore::load(path);
+  ASSERT_EQ(loaded.size(), store.size());
+  ASSERT_EQ(loaded.dimension(), store.dimension());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    EXPECT_EQ(loaded.doc(i).id, store.doc(i).id);
+    EXPECT_EQ(loaded.doc(i).metadata, store.doc(i).metadata);
+    EXPECT_EQ(loaded.vec(i), store.vec(i));
+  }
+  fs::remove(path);
+}
+
+TEST(VectorStore, LoadRejectsGarbage) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::temp_directory_path() / "pkb_store_garbage.bin").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a vector store";
+  }
+  EXPECT_THROW((void)VectorStore::load(path), std::runtime_error);
+  EXPECT_THROW((void)VectorStore::load("/nonexistent/x.bin"),
+               std::runtime_error);
+  fs::remove(path);
+}
+
+TEST(Ivf, EmptyStoreThrows) {
+  VectorStore store;
+  EXPECT_THROW(IvfIndex(store, {}), std::invalid_argument);
+}
+
+TEST(Ivf, SearchFindsExactMatchWithFullProbing) {
+  const VectorStore store = random_store(200, 16, 7);
+  IvfOptions opts;
+  opts.clusters = 10;
+  opts.nprobe = 10;  // probe everything -> exact
+  const IvfIndex index(store, opts);
+  EXPECT_EQ(index.cluster_count(), 10u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto hits = index.search(store.vec(i), 1);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].index, i);
+  }
+}
+
+TEST(Ivf, FullProbeMatchesExactSearch) {
+  const VectorStore store = random_store(300, 16, 8);
+  IvfOptions opts;
+  opts.clusters = 12;
+  opts.nprobe = 12;
+  const IvfIndex index(store, opts);
+  const auto exact = store.similarity_search(store.vec(5), 10);
+  const auto approx = index.search(store.vec(5), 10);
+  ASSERT_EQ(exact.size(), approx.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_EQ(exact[i].index, approx[i].index);
+  }
+}
+
+TEST(Ivf, RecallImprovesWithProbes) {
+  const VectorStore store = random_store(500, 24, 9);
+  std::vector<Vector> queries;
+  pkb::util::Rng rng(99);
+  for (int i = 0; i < 12; ++i) {
+    Vector q(24);
+    for (float& x : q) x = static_cast<float>(rng.normal());
+    queries.push_back(std::move(q));
+  }
+  IvfOptions low;
+  low.clusters = 22;
+  low.nprobe = 1;
+  IvfOptions high = low;
+  high.nprobe = 16;
+  const double r_low = IvfIndex(store, low).recall_at_k(queries, 8);
+  const double r_high = IvfIndex(store, high).recall_at_k(queries, 8);
+  EXPECT_GE(r_high, r_low);
+  EXPECT_GT(r_high, 0.8);
+}
+
+TEST(Ivf, DeterministicForSameSeed) {
+  const VectorStore store = random_store(100, 8, 10);
+  IvfOptions opts;
+  opts.seed = 777;
+  const IvfIndex a(store, opts);
+  const IvfIndex b(store, opts);
+  const auto ha = a.search(store.vec(3), 5);
+  const auto hb = b.search(store.vec(3), 5);
+  ASSERT_EQ(ha.size(), hb.size());
+  for (std::size_t i = 0; i < ha.size(); ++i) {
+    EXPECT_EQ(ha[i].index, hb[i].index);
+  }
+}
+
+}  // namespace
+}  // namespace pkb::vectordb
