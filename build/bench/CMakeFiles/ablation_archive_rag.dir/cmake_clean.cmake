@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_archive_rag.dir/ablation_archive_rag.cpp.o"
+  "CMakeFiles/ablation_archive_rag.dir/ablation_archive_rag.cpp.o.d"
+  "ablation_archive_rag"
+  "ablation_archive_rag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_archive_rag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

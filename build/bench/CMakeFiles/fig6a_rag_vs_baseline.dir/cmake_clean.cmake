@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_rag_vs_baseline.dir/fig6a_rag_vs_baseline.cpp.o"
+  "CMakeFiles/fig6a_rag_vs_baseline.dir/fig6a_rag_vs_baseline.cpp.o.d"
+  "fig6a_rag_vs_baseline"
+  "fig6a_rag_vs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_rag_vs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6c_rerank_impact.dir/fig6c_rerank_impact.cpp.o"
+  "CMakeFiles/fig6c_rerank_impact.dir/fig6c_rerank_impact.cpp.o.d"
+  "fig6c_rerank_impact"
+  "fig6c_rerank_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_rerank_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

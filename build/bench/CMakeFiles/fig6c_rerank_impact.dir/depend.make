@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6c_rerank_impact.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_case_study_lsqr.dir/fig7_case_study_lsqr.cpp.o"
+  "CMakeFiles/fig7_case_study_lsqr.dir/fig7_case_study_lsqr.cpp.o.d"
+  "fig7_case_study_lsqr"
+  "fig7_case_study_lsqr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_case_study_lsqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

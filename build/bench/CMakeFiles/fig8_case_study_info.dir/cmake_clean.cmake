@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_case_study_info.dir/fig8_case_study_info.cpp.o"
+  "CMakeFiles/fig8_case_study_info.dir/fig8_case_study_info.cpp.o.d"
+  "fig8_case_study_info"
+  "fig8_case_study_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_case_study_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

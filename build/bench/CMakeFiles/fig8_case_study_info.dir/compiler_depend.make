@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8_case_study_info.
+# This may be replaced when dependencies are built.

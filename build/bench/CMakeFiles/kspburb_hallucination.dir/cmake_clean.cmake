@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kspburb_hallucination.dir/kspburb_hallucination.cpp.o"
+  "CMakeFiles/kspburb_hallucination.dir/kspburb_hallucination.cpp.o.d"
+  "kspburb_hallucination"
+  "kspburb_hallucination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kspburb_hallucination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rerank.dir/micro_rerank.cpp.o"
+  "CMakeFiles/micro_rerank.dir/micro_rerank.cpp.o.d"
+  "micro_rerank"
+  "micro_rerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

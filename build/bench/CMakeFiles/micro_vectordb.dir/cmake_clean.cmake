@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_vectordb.dir/micro_vectordb.cpp.o"
+  "CMakeFiles/micro_vectordb.dir/micro_vectordb.cpp.o.d"
+  "micro_vectordb"
+  "micro_vectordb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_vectordb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_embedding_sweep.dir/model_embedding_sweep.cpp.o"
+  "CMakeFiles/model_embedding_sweep.dir/model_embedding_sweep.cpp.o.d"
+  "model_embedding_sweep"
+  "model_embedding_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_embedding_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

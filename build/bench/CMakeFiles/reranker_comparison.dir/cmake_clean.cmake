@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reranker_comparison.dir/reranker_comparison.cpp.o"
+  "CMakeFiles/reranker_comparison.dir/reranker_comparison.cpp.o.d"
+  "reranker_comparison"
+  "reranker_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reranker_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

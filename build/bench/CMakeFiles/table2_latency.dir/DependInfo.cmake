@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_latency.cpp" "bench/CMakeFiles/table2_latency.dir/table2_latency.cpp.o" "gcc" "bench/CMakeFiles/table2_latency.dir/table2_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pkb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_vectordb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_lexical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_rerank.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_post.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_rag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_bots.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

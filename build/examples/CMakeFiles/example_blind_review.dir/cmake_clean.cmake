@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_blind_review.dir/blind_review.cpp.o"
+  "CMakeFiles/example_blind_review.dir/blind_review.cpp.o.d"
+  "example_blind_review"
+  "example_blind_review.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_blind_review.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_discord_support_session.dir/discord_support_session.cpp.o"
+  "CMakeFiles/example_discord_support_session.dir/discord_support_session.cpp.o.d"
+  "example_discord_support_session"
+  "example_discord_support_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_discord_support_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_doc_assistant.dir/doc_assistant.cpp.o"
+  "CMakeFiles/example_doc_assistant.dir/doc_assistant.cpp.o.d"
+  "example_doc_assistant"
+  "example_doc_assistant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_doc_assistant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

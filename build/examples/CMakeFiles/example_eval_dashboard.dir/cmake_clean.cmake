@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_eval_dashboard.dir/eval_dashboard.cpp.o"
+  "CMakeFiles/example_eval_dashboard.dir/eval_dashboard.cpp.o.d"
+  "example_eval_dashboard"
+  "example_eval_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_eval_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pkb_cli.dir/pkb_cli.cpp.o"
+  "CMakeFiles/example_pkb_cli.dir/pkb_cli.cpp.o.d"
+  "example_pkb_cli"
+  "example_pkb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pkb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_pkb_cli.
+# This may be replaced when dependencies are built.

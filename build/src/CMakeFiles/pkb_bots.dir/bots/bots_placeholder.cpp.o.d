@@ -1,0 +1,2 @@
+src/CMakeFiles/pkb_bots.dir/bots/bots_placeholder.cpp.o: \
+ /root/repo/src/bots/bots_placeholder.cpp /usr/include/stdc-predef.h

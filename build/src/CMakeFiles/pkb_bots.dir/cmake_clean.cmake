@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkb_bots.dir/bots/bots_placeholder.cpp.o"
+  "CMakeFiles/pkb_bots.dir/bots/bots_placeholder.cpp.o.d"
+  "CMakeFiles/pkb_bots.dir/bots/chat_bot.cpp.o"
+  "CMakeFiles/pkb_bots.dir/bots/chat_bot.cpp.o.d"
+  "CMakeFiles/pkb_bots.dir/bots/email_bot.cpp.o"
+  "CMakeFiles/pkb_bots.dir/bots/email_bot.cpp.o.d"
+  "CMakeFiles/pkb_bots.dir/bots/mail.cpp.o"
+  "CMakeFiles/pkb_bots.dir/bots/mail.cpp.o.d"
+  "CMakeFiles/pkb_bots.dir/bots/platform.cpp.o"
+  "CMakeFiles/pkb_bots.dir/bots/platform.cpp.o.d"
+  "libpkb_bots.a"
+  "libpkb_bots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkb_bots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

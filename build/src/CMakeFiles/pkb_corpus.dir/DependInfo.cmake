@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/api_spec.cpp" "src/CMakeFiles/pkb_corpus.dir/corpus/api_spec.cpp.o" "gcc" "src/CMakeFiles/pkb_corpus.dir/corpus/api_spec.cpp.o.d"
+  "/root/repo/src/corpus/api_table_core.cpp" "src/CMakeFiles/pkb_corpus.dir/corpus/api_table_core.cpp.o" "gcc" "src/CMakeFiles/pkb_corpus.dir/corpus/api_table_core.cpp.o.d"
+  "/root/repo/src/corpus/api_table_ksp.cpp" "src/CMakeFiles/pkb_corpus.dir/corpus/api_table_ksp.cpp.o" "gcc" "src/CMakeFiles/pkb_corpus.dir/corpus/api_table_ksp.cpp.o.d"
+  "/root/repo/src/corpus/api_table_options.cpp" "src/CMakeFiles/pkb_corpus.dir/corpus/api_table_options.cpp.o" "gcc" "src/CMakeFiles/pkb_corpus.dir/corpus/api_table_options.cpp.o.d"
+  "/root/repo/src/corpus/api_table_outer.cpp" "src/CMakeFiles/pkb_corpus.dir/corpus/api_table_outer.cpp.o" "gcc" "src/CMakeFiles/pkb_corpus.dir/corpus/api_table_outer.cpp.o.d"
+  "/root/repo/src/corpus/api_table_pc.cpp" "src/CMakeFiles/pkb_corpus.dir/corpus/api_table_pc.cpp.o" "gcc" "src/CMakeFiles/pkb_corpus.dir/corpus/api_table_pc.cpp.o.d"
+  "/root/repo/src/corpus/generator.cpp" "src/CMakeFiles/pkb_corpus.dir/corpus/generator.cpp.o" "gcc" "src/CMakeFiles/pkb_corpus.dir/corpus/generator.cpp.o.d"
+  "/root/repo/src/corpus/mailing_list.cpp" "src/CMakeFiles/pkb_corpus.dir/corpus/mailing_list.cpp.o" "gcc" "src/CMakeFiles/pkb_corpus.dir/corpus/mailing_list.cpp.o.d"
+  "/root/repo/src/corpus/questions.cpp" "src/CMakeFiles/pkb_corpus.dir/corpus/questions.cpp.o" "gcc" "src/CMakeFiles/pkb_corpus.dir/corpus/questions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pkb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkb_corpus.dir/corpus/api_spec.cpp.o"
+  "CMakeFiles/pkb_corpus.dir/corpus/api_spec.cpp.o.d"
+  "CMakeFiles/pkb_corpus.dir/corpus/api_table_core.cpp.o"
+  "CMakeFiles/pkb_corpus.dir/corpus/api_table_core.cpp.o.d"
+  "CMakeFiles/pkb_corpus.dir/corpus/api_table_ksp.cpp.o"
+  "CMakeFiles/pkb_corpus.dir/corpus/api_table_ksp.cpp.o.d"
+  "CMakeFiles/pkb_corpus.dir/corpus/api_table_options.cpp.o"
+  "CMakeFiles/pkb_corpus.dir/corpus/api_table_options.cpp.o.d"
+  "CMakeFiles/pkb_corpus.dir/corpus/api_table_outer.cpp.o"
+  "CMakeFiles/pkb_corpus.dir/corpus/api_table_outer.cpp.o.d"
+  "CMakeFiles/pkb_corpus.dir/corpus/api_table_pc.cpp.o"
+  "CMakeFiles/pkb_corpus.dir/corpus/api_table_pc.cpp.o.d"
+  "CMakeFiles/pkb_corpus.dir/corpus/generator.cpp.o"
+  "CMakeFiles/pkb_corpus.dir/corpus/generator.cpp.o.d"
+  "CMakeFiles/pkb_corpus.dir/corpus/mailing_list.cpp.o"
+  "CMakeFiles/pkb_corpus.dir/corpus/mailing_list.cpp.o.d"
+  "CMakeFiles/pkb_corpus.dir/corpus/questions.cpp.o"
+  "CMakeFiles/pkb_corpus.dir/corpus/questions.cpp.o.d"
+  "libpkb_corpus.a"
+  "libpkb_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkb_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

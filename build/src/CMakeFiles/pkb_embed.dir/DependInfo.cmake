@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/blend.cpp" "src/CMakeFiles/pkb_embed.dir/embed/blend.cpp.o" "gcc" "src/CMakeFiles/pkb_embed.dir/embed/blend.cpp.o.d"
+  "/root/repo/src/embed/embedder.cpp" "src/CMakeFiles/pkb_embed.dir/embed/embedder.cpp.o" "gcc" "src/CMakeFiles/pkb_embed.dir/embed/embedder.cpp.o.d"
+  "/root/repo/src/embed/hashing.cpp" "src/CMakeFiles/pkb_embed.dir/embed/hashing.cpp.o" "gcc" "src/CMakeFiles/pkb_embed.dir/embed/hashing.cpp.o.d"
+  "/root/repo/src/embed/lsa.cpp" "src/CMakeFiles/pkb_embed.dir/embed/lsa.cpp.o" "gcc" "src/CMakeFiles/pkb_embed.dir/embed/lsa.cpp.o.d"
+  "/root/repo/src/embed/tfidf.cpp" "src/CMakeFiles/pkb_embed.dir/embed/tfidf.cpp.o" "gcc" "src/CMakeFiles/pkb_embed.dir/embed/tfidf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pkb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkb_embed.dir/embed/blend.cpp.o"
+  "CMakeFiles/pkb_embed.dir/embed/blend.cpp.o.d"
+  "CMakeFiles/pkb_embed.dir/embed/embedder.cpp.o"
+  "CMakeFiles/pkb_embed.dir/embed/embedder.cpp.o.d"
+  "CMakeFiles/pkb_embed.dir/embed/hashing.cpp.o"
+  "CMakeFiles/pkb_embed.dir/embed/hashing.cpp.o.d"
+  "CMakeFiles/pkb_embed.dir/embed/lsa.cpp.o"
+  "CMakeFiles/pkb_embed.dir/embed/lsa.cpp.o.d"
+  "CMakeFiles/pkb_embed.dir/embed/tfidf.cpp.o"
+  "CMakeFiles/pkb_embed.dir/embed/tfidf.cpp.o.d"
+  "libpkb_embed.a"
+  "libpkb_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkb_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkb_eval.dir/eval/rubric.cpp.o"
+  "CMakeFiles/pkb_eval.dir/eval/rubric.cpp.o.d"
+  "CMakeFiles/pkb_eval.dir/eval/runner.cpp.o"
+  "CMakeFiles/pkb_eval.dir/eval/runner.cpp.o.d"
+  "libpkb_eval.a"
+  "libpkb_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkb_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

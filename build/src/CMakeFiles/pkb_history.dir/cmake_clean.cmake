@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkb_history.dir/history/store.cpp.o"
+  "CMakeFiles/pkb_history.dir/history/store.cpp.o.d"
+  "libpkb_history.a"
+  "libpkb_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkb_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

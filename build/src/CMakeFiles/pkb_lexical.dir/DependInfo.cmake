@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lexical/bm25.cpp" "src/CMakeFiles/pkb_lexical.dir/lexical/bm25.cpp.o" "gcc" "src/CMakeFiles/pkb_lexical.dir/lexical/bm25.cpp.o.d"
+  "/root/repo/src/lexical/keyword_search.cpp" "src/CMakeFiles/pkb_lexical.dir/lexical/keyword_search.cpp.o" "gcc" "src/CMakeFiles/pkb_lexical.dir/lexical/keyword_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pkb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

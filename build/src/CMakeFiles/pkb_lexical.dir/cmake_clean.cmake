@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkb_lexical.dir/lexical/bm25.cpp.o"
+  "CMakeFiles/pkb_lexical.dir/lexical/bm25.cpp.o.d"
+  "CMakeFiles/pkb_lexical.dir/lexical/keyword_search.cpp.o"
+  "CMakeFiles/pkb_lexical.dir/lexical/keyword_search.cpp.o.d"
+  "libpkb_lexical.a"
+  "libpkb_lexical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkb_lexical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm/hallucination.cpp" "src/CMakeFiles/pkb_llm.dir/llm/hallucination.cpp.o" "gcc" "src/CMakeFiles/pkb_llm.dir/llm/hallucination.cpp.o.d"
+  "/root/repo/src/llm/model_config.cpp" "src/CMakeFiles/pkb_llm.dir/llm/model_config.cpp.o" "gcc" "src/CMakeFiles/pkb_llm.dir/llm/model_config.cpp.o.d"
+  "/root/repo/src/llm/parametric.cpp" "src/CMakeFiles/pkb_llm.dir/llm/parametric.cpp.o" "gcc" "src/CMakeFiles/pkb_llm.dir/llm/parametric.cpp.o.d"
+  "/root/repo/src/llm/sim_llm.cpp" "src/CMakeFiles/pkb_llm.dir/llm/sim_llm.cpp.o" "gcc" "src/CMakeFiles/pkb_llm.dir/llm/sim_llm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pkb_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_lexical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

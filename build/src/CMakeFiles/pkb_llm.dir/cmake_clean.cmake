@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkb_llm.dir/llm/hallucination.cpp.o"
+  "CMakeFiles/pkb_llm.dir/llm/hallucination.cpp.o.d"
+  "CMakeFiles/pkb_llm.dir/llm/model_config.cpp.o"
+  "CMakeFiles/pkb_llm.dir/llm/model_config.cpp.o.d"
+  "CMakeFiles/pkb_llm.dir/llm/parametric.cpp.o"
+  "CMakeFiles/pkb_llm.dir/llm/parametric.cpp.o.d"
+  "CMakeFiles/pkb_llm.dir/llm/sim_llm.cpp.o"
+  "CMakeFiles/pkb_llm.dir/llm/sim_llm.cpp.o.d"
+  "libpkb_llm.a"
+  "libpkb_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkb_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/post/code_check.cpp" "src/CMakeFiles/pkb_post.dir/post/code_check.cpp.o" "gcc" "src/CMakeFiles/pkb_post.dir/post/code_check.cpp.o.d"
+  "/root/repo/src/post/markdown_html.cpp" "src/CMakeFiles/pkb_post.dir/post/markdown_html.cpp.o" "gcc" "src/CMakeFiles/pkb_post.dir/post/markdown_html.cpp.o.d"
+  "/root/repo/src/post/postprocessor.cpp" "src/CMakeFiles/pkb_post.dir/post/postprocessor.cpp.o" "gcc" "src/CMakeFiles/pkb_post.dir/post/postprocessor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pkb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkb_post.dir/post/code_check.cpp.o"
+  "CMakeFiles/pkb_post.dir/post/code_check.cpp.o.d"
+  "CMakeFiles/pkb_post.dir/post/markdown_html.cpp.o"
+  "CMakeFiles/pkb_post.dir/post/markdown_html.cpp.o.d"
+  "CMakeFiles/pkb_post.dir/post/postprocessor.cpp.o"
+  "CMakeFiles/pkb_post.dir/post/postprocessor.cpp.o.d"
+  "libpkb_post.a"
+  "libpkb_post.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkb_post.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rag/database.cpp" "src/CMakeFiles/pkb_rag.dir/rag/database.cpp.o" "gcc" "src/CMakeFiles/pkb_rag.dir/rag/database.cpp.o.d"
+  "/root/repo/src/rag/history_retriever.cpp" "src/CMakeFiles/pkb_rag.dir/rag/history_retriever.cpp.o" "gcc" "src/CMakeFiles/pkb_rag.dir/rag/history_retriever.cpp.o.d"
+  "/root/repo/src/rag/prompts.cpp" "src/CMakeFiles/pkb_rag.dir/rag/prompts.cpp.o" "gcc" "src/CMakeFiles/pkb_rag.dir/rag/prompts.cpp.o.d"
+  "/root/repo/src/rag/retriever.cpp" "src/CMakeFiles/pkb_rag.dir/rag/retriever.cpp.o" "gcc" "src/CMakeFiles/pkb_rag.dir/rag/retriever.cpp.o.d"
+  "/root/repo/src/rag/workflow.cpp" "src/CMakeFiles/pkb_rag.dir/rag/workflow.cpp.o" "gcc" "src/CMakeFiles/pkb_rag.dir/rag/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pkb_vectordb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_rerank.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_post.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_lexical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkb_rag.dir/rag/database.cpp.o"
+  "CMakeFiles/pkb_rag.dir/rag/database.cpp.o.d"
+  "CMakeFiles/pkb_rag.dir/rag/history_retriever.cpp.o"
+  "CMakeFiles/pkb_rag.dir/rag/history_retriever.cpp.o.d"
+  "CMakeFiles/pkb_rag.dir/rag/prompts.cpp.o"
+  "CMakeFiles/pkb_rag.dir/rag/prompts.cpp.o.d"
+  "CMakeFiles/pkb_rag.dir/rag/retriever.cpp.o"
+  "CMakeFiles/pkb_rag.dir/rag/retriever.cpp.o.d"
+  "CMakeFiles/pkb_rag.dir/rag/workflow.cpp.o"
+  "CMakeFiles/pkb_rag.dir/rag/workflow.cpp.o.d"
+  "libpkb_rag.a"
+  "libpkb_rag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkb_rag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rerank/cross_score.cpp" "src/CMakeFiles/pkb_rerank.dir/rerank/cross_score.cpp.o" "gcc" "src/CMakeFiles/pkb_rerank.dir/rerank/cross_score.cpp.o.d"
+  "/root/repo/src/rerank/flashranker.cpp" "src/CMakeFiles/pkb_rerank.dir/rerank/flashranker.cpp.o" "gcc" "src/CMakeFiles/pkb_rerank.dir/rerank/flashranker.cpp.o.d"
+  "/root/repo/src/rerank/reranker.cpp" "src/CMakeFiles/pkb_rerank.dir/rerank/reranker.cpp.o" "gcc" "src/CMakeFiles/pkb_rerank.dir/rerank/reranker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pkb_lexical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkb_rerank.dir/rerank/cross_score.cpp.o"
+  "CMakeFiles/pkb_rerank.dir/rerank/cross_score.cpp.o.d"
+  "CMakeFiles/pkb_rerank.dir/rerank/flashranker.cpp.o"
+  "CMakeFiles/pkb_rerank.dir/rerank/flashranker.cpp.o.d"
+  "CMakeFiles/pkb_rerank.dir/rerank/reranker.cpp.o"
+  "CMakeFiles/pkb_rerank.dir/rerank/reranker.cpp.o.d"
+  "libpkb_rerank.a"
+  "libpkb_rerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkb_rerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpkb_rerank.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pkb_rerank.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for pkb_rerank.
+# This may be replaced when dependencies are built.

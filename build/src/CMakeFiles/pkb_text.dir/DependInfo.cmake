@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/loader.cpp" "src/CMakeFiles/pkb_text.dir/text/loader.cpp.o" "gcc" "src/CMakeFiles/pkb_text.dir/text/loader.cpp.o.d"
+  "/root/repo/src/text/markdown.cpp" "src/CMakeFiles/pkb_text.dir/text/markdown.cpp.o" "gcc" "src/CMakeFiles/pkb_text.dir/text/markdown.cpp.o.d"
+  "/root/repo/src/text/splitter.cpp" "src/CMakeFiles/pkb_text.dir/text/splitter.cpp.o" "gcc" "src/CMakeFiles/pkb_text.dir/text/splitter.cpp.o.d"
+  "/root/repo/src/text/tokenizer.cpp" "src/CMakeFiles/pkb_text.dir/text/tokenizer.cpp.o" "gcc" "src/CMakeFiles/pkb_text.dir/text/tokenizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pkb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

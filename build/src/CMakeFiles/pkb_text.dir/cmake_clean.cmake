@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkb_text.dir/text/loader.cpp.o"
+  "CMakeFiles/pkb_text.dir/text/loader.cpp.o.d"
+  "CMakeFiles/pkb_text.dir/text/markdown.cpp.o"
+  "CMakeFiles/pkb_text.dir/text/markdown.cpp.o.d"
+  "CMakeFiles/pkb_text.dir/text/splitter.cpp.o"
+  "CMakeFiles/pkb_text.dir/text/splitter.cpp.o.d"
+  "CMakeFiles/pkb_text.dir/text/tokenizer.cpp.o"
+  "CMakeFiles/pkb_text.dir/text/tokenizer.cpp.o.d"
+  "libpkb_text.a"
+  "libpkb_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkb_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

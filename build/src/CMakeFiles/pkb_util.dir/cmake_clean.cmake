@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkb_util.dir/util/clock.cpp.o"
+  "CMakeFiles/pkb_util.dir/util/clock.cpp.o.d"
+  "CMakeFiles/pkb_util.dir/util/json.cpp.o"
+  "CMakeFiles/pkb_util.dir/util/json.cpp.o.d"
+  "CMakeFiles/pkb_util.dir/util/log.cpp.o"
+  "CMakeFiles/pkb_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/pkb_util.dir/util/rng.cpp.o"
+  "CMakeFiles/pkb_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/pkb_util.dir/util/stats.cpp.o"
+  "CMakeFiles/pkb_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/pkb_util.dir/util/strings.cpp.o"
+  "CMakeFiles/pkb_util.dir/util/strings.cpp.o.d"
+  "CMakeFiles/pkb_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/pkb_util.dir/util/thread_pool.cpp.o.d"
+  "libpkb_util.a"
+  "libpkb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

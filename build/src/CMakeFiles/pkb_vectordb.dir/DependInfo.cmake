@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vectordb/ivf.cpp" "src/CMakeFiles/pkb_vectordb.dir/vectordb/ivf.cpp.o" "gcc" "src/CMakeFiles/pkb_vectordb.dir/vectordb/ivf.cpp.o.d"
+  "/root/repo/src/vectordb/vector_store.cpp" "src/CMakeFiles/pkb_vectordb.dir/vectordb/vector_store.cpp.o" "gcc" "src/CMakeFiles/pkb_vectordb.dir/vectordb/vector_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pkb_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

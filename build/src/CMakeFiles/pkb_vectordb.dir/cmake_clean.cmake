@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkb_vectordb.dir/vectordb/ivf.cpp.o"
+  "CMakeFiles/pkb_vectordb.dir/vectordb/ivf.cpp.o.d"
+  "CMakeFiles/pkb_vectordb.dir/vectordb/vector_store.cpp.o"
+  "CMakeFiles/pkb_vectordb.dir/vectordb/vector_store.cpp.o.d"
+  "libpkb_vectordb.a"
+  "libpkb_vectordb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkb_vectordb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

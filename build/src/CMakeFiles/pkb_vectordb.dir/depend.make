@@ -1,0 +1,2 @@
+# Empty dependencies file for pkb_vectordb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bots_test.cpp" "tests/CMakeFiles/pkb_tests.dir/bots_test.cpp.o" "gcc" "tests/CMakeFiles/pkb_tests.dir/bots_test.cpp.o.d"
+  "/root/repo/tests/corpus_test.cpp" "tests/CMakeFiles/pkb_tests.dir/corpus_test.cpp.o" "gcc" "tests/CMakeFiles/pkb_tests.dir/corpus_test.cpp.o.d"
+  "/root/repo/tests/embed_test.cpp" "tests/CMakeFiles/pkb_tests.dir/embed_test.cpp.o" "gcc" "tests/CMakeFiles/pkb_tests.dir/embed_test.cpp.o.d"
+  "/root/repo/tests/eval_test.cpp" "tests/CMakeFiles/pkb_tests.dir/eval_test.cpp.o" "gcc" "tests/CMakeFiles/pkb_tests.dir/eval_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/pkb_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/pkb_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/history_test.cpp" "tests/CMakeFiles/pkb_tests.dir/history_test.cpp.o" "gcc" "tests/CMakeFiles/pkb_tests.dir/history_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/pkb_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/pkb_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/json_test.cpp" "tests/CMakeFiles/pkb_tests.dir/json_test.cpp.o" "gcc" "tests/CMakeFiles/pkb_tests.dir/json_test.cpp.o.d"
+  "/root/repo/tests/lexical_test.cpp" "tests/CMakeFiles/pkb_tests.dir/lexical_test.cpp.o" "gcc" "tests/CMakeFiles/pkb_tests.dir/lexical_test.cpp.o.d"
+  "/root/repo/tests/llm_test.cpp" "tests/CMakeFiles/pkb_tests.dir/llm_test.cpp.o" "gcc" "tests/CMakeFiles/pkb_tests.dir/llm_test.cpp.o.d"
+  "/root/repo/tests/loader_test.cpp" "tests/CMakeFiles/pkb_tests.dir/loader_test.cpp.o" "gcc" "tests/CMakeFiles/pkb_tests.dir/loader_test.cpp.o.d"
+  "/root/repo/tests/markdown_test.cpp" "tests/CMakeFiles/pkb_tests.dir/markdown_test.cpp.o" "gcc" "tests/CMakeFiles/pkb_tests.dir/markdown_test.cpp.o.d"
+  "/root/repo/tests/post_test.cpp" "tests/CMakeFiles/pkb_tests.dir/post_test.cpp.o" "gcc" "tests/CMakeFiles/pkb_tests.dir/post_test.cpp.o.d"
+  "/root/repo/tests/rag_test.cpp" "tests/CMakeFiles/pkb_tests.dir/rag_test.cpp.o" "gcc" "tests/CMakeFiles/pkb_tests.dir/rag_test.cpp.o.d"
+  "/root/repo/tests/rerank_test.cpp" "tests/CMakeFiles/pkb_tests.dir/rerank_test.cpp.o" "gcc" "tests/CMakeFiles/pkb_tests.dir/rerank_test.cpp.o.d"
+  "/root/repo/tests/rng_test.cpp" "tests/CMakeFiles/pkb_tests.dir/rng_test.cpp.o" "gcc" "tests/CMakeFiles/pkb_tests.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/splitter_test.cpp" "tests/CMakeFiles/pkb_tests.dir/splitter_test.cpp.o" "gcc" "tests/CMakeFiles/pkb_tests.dir/splitter_test.cpp.o.d"
+  "/root/repo/tests/strings_test.cpp" "tests/CMakeFiles/pkb_tests.dir/strings_test.cpp.o" "gcc" "tests/CMakeFiles/pkb_tests.dir/strings_test.cpp.o.d"
+  "/root/repo/tests/tokenizer_test.cpp" "tests/CMakeFiles/pkb_tests.dir/tokenizer_test.cpp.o" "gcc" "tests/CMakeFiles/pkb_tests.dir/tokenizer_test.cpp.o.d"
+  "/root/repo/tests/util_misc_test.cpp" "tests/CMakeFiles/pkb_tests.dir/util_misc_test.cpp.o" "gcc" "tests/CMakeFiles/pkb_tests.dir/util_misc_test.cpp.o.d"
+  "/root/repo/tests/vectordb_test.cpp" "tests/CMakeFiles/pkb_tests.dir/vectordb_test.cpp.o" "gcc" "tests/CMakeFiles/pkb_tests.dir/vectordb_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pkb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_vectordb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_lexical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_rerank.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_post.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_rag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pkb_bots.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
