@@ -10,7 +10,12 @@
 //   :arm baseline|rag|rerank   switch pipeline arm
 //   :contexts                  show the contexts of the last answer
 //   :history <substring>       search past interactions
+//   :metrics                   dump the metrics registry (Prometheus text)
+//   :trace                     show the last request's span tree
+//   :trace chrome              dump retained traces as Chrome trace JSON
 //   :quit                      exit
+//
+// The span/metric vocabulary is documented in docs/OBSERVABILITY.md.
 
 #include <cstdio>
 #include <iostream>
@@ -18,6 +23,8 @@
 #include <string>
 
 #include "corpus/generator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rag/workflow.h"
 #include "util/strings.h"
 
@@ -78,6 +85,25 @@ int main() {
         std::printf("  %-48s via %-8s score %.3f\n", ctx.doc->id.c_str(),
                     ctx.via.c_str(), ctx.score);
       }
+      continue;
+    }
+    if (input == ":metrics") {
+      std::printf("%s", obs::global_metrics().prometheus_text().c_str());
+      continue;
+    }
+    if (input == ":trace") {
+      const std::optional<obs::Trace> trace = obs::global_tracer().latest();
+      if (!trace.has_value()) {
+        std::printf("no traces yet — ask a question first\n");
+      } else {
+        std::printf("trace #%llu\n%s",
+                    static_cast<unsigned long long>(trace->id),
+                    obs::render_tree(trace->root).c_str());
+      }
+      continue;
+    }
+    if (input == ":trace chrome") {
+      std::printf("%s\n", obs::global_tracer().chrome_trace_json().c_str());
       continue;
     }
     if (input.starts_with(":history ")) {

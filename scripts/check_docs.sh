@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Contract check: every metric and span name defined in src/obs/metric_names.h
+# must be documented in docs/OBSERVABILITY.md. Wired into ctest as
+# `check_docs`; run standalone from anywhere:
+#
+#   scripts/check_docs.sh
+#
+# Exits non-zero listing the undocumented names, if any. This is what keeps
+# the docs-first contract honest: adding a metric without documenting it
+# fails the test suite.
+set -u
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+names_header="$repo_root/src/obs/metric_names.h"
+doc="$repo_root/docs/OBSERVABILITY.md"
+
+if [[ ! -f "$names_header" ]]; then
+  echo "check_docs: missing $names_header" >&2
+  exit 1
+fi
+if [[ ! -f "$doc" ]]; then
+  echo "check_docs: missing $doc" >&2
+  exit 1
+fi
+
+# Pull every quoted name out of the constants header. Declarations are
+# either one line (`... kFoo = "name";`) or wrapped by clang-format with the
+# literal alone on a continuation line (`    "name";`).
+names=$(sed -n \
+  -e 's/.*std::string_view k[A-Za-z0-9]* *= *"\([^"]*\)".*/\1/p' \
+  -e 's/^ *"\([^"]*\)"; *$/\1/p' \
+  "$names_header")
+
+if [[ -z "$names" ]]; then
+  echo "check_docs: no names parsed from $names_header (format changed?)" >&2
+  exit 1
+fi
+
+missing=0
+count=0
+while IFS= read -r name; do
+  count=$((count + 1))
+  if ! grep -qF "$name" "$doc"; then
+    echo "check_docs: '$name' (src/obs/metric_names.h) is not documented" \
+      "in docs/OBSERVABILITY.md" >&2
+    missing=$((missing + 1))
+  fi
+done <<< "$names"
+
+if [[ "$missing" -gt 0 ]]; then
+  echo "check_docs: FAIL — $missing of $count names undocumented" >&2
+  exit 1
+fi
+echo "check_docs: OK — all $count metric/span names documented"

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
 namespace pkb::bots {
 
 std::string_view to_string(ButtonResult result) {
@@ -61,6 +64,7 @@ std::uint64_t ChatBot::attach_draft(std::uint64_t post_id,
       outcome.response.text + "\n\n[buttons: send | discard | revise]");
   Message* msg = server_->find_message(forum_channel_, draft_id);
   msg->tags["status"] = "draft";
+  obs::global_metrics().counter(obs::kBotsRepliesTotal).inc();
 
   DraftInfo info;
   info.post_id = post_id;
@@ -80,6 +84,9 @@ std::optional<std::uint64_t> ChatBot::handle_reply_command(
 
 ButtonResult ChatBot::press_send(std::uint64_t draft_id,
                                  std::string_view developer) {
+  obs::global_metrics()
+      .counter(obs::kBotsButtonPressesTotal, {{"button", "send"}})
+      .inc();
   auto it = drafts_.find(draft_id);
   if (it == drafts_.end()) return ButtonResult::UnknownDraft;
   if (!server_->is_developer(developer)) return ButtonResult::NotADeveloper;
@@ -107,6 +114,9 @@ ButtonResult ChatBot::press_send(std::uint64_t draft_id,
 
 ButtonResult ChatBot::press_discard(std::uint64_t draft_id,
                                     std::string_view developer) {
+  obs::global_metrics()
+      .counter(obs::kBotsButtonPressesTotal, {{"button", "discard"}})
+      .inc();
   auto it = drafts_.find(draft_id);
   if (it == drafts_.end()) return ButtonResult::UnknownDraft;
   if (!server_->is_developer(developer)) return ButtonResult::NotADeveloper;
@@ -120,6 +130,9 @@ ButtonResult ChatBot::press_revise(std::uint64_t draft_id,
                                    std::string_view developer,
                                    std::string_view guidance,
                                    std::uint64_t* new_draft_id) {
+  obs::global_metrics()
+      .counter(obs::kBotsButtonPressesTotal, {{"button", "revise"}})
+      .inc();
   auto it = drafts_.find(draft_id);
   if (it == drafts_.end()) return ButtonResult::UnknownDraft;
   if (!server_->is_developer(developer)) return ButtonResult::NotADeveloper;

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
 namespace pkb::bots {
 
 DiscordServer::DiscordServer(pkb::util::SimClock* clock) : clock_(clock) {
@@ -72,6 +75,9 @@ std::uint64_t DiscordServer::post_message(std::string_view channel_name,
   msg.timestamp = clock_->now();
   msg.attachments = std::move(attachments);
   ch->messages.push_back(std::move(msg));
+  obs::global_metrics()
+      .counter(obs::kBotsMessagesTotal, {{"kind", "text"}})
+      .inc();
   return ch->messages.back().id;
 }
 
@@ -108,6 +114,9 @@ std::uint64_t DiscordServer::add_to_post(std::string_view channel_name,
       msg.timestamp = clock_->now();
       msg.attachments = std::move(attachments);
       post.messages.push_back(std::move(msg));
+      obs::global_metrics()
+          .counter(obs::kBotsMessagesTotal, {{"kind", "forum"}})
+          .inc();
       return post.messages.back().id;
     }
   }

@@ -7,6 +7,9 @@
 #include "embed/hashing.h"
 #include "embed/lsa.h"
 #include "embed/tfidf.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "util/clock.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 
@@ -45,10 +48,16 @@ float cosine(const Vector& a, const Vector& b) {
 
 std::vector<Vector> Embedder::embed_batch(
     std::span<const text::Document> docs) const {
+  pkb::util::Stopwatch watch;
   std::vector<Vector> out(docs.size());
   pkb::util::parallel_for(
       0, docs.size(), [&](std::size_t i) { out[i] = embed(docs[i].text); },
       /*min_block=*/4);
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  const obs::LabelSet model_label{{"model", name()}};
+  metrics.counter(obs::kEmbedBatchDocsTotal, model_label).inc(docs.size());
+  metrics.histogram(obs::kEmbedBatchSeconds, model_label)
+      .observe(watch.seconds());
   return out;
 }
 

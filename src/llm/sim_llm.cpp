@@ -6,6 +6,9 @@
 
 #include "llm/hallucination.h"
 #include "llm/parametric.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/tokenizer.h"
 #include "util/json.h"
 #include "util/rng.h"
@@ -353,6 +356,9 @@ SimLlm::Draft SimLlm::answer_parametric(const LlmRequest& request,
 }
 
 LlmResponse SimLlm::complete(const LlmRequest& request) const {
+  obs::Span span(obs::global_tracer(), obs::kSpanLlm);
+  span.set_attr("model", config_.name);
+
   Rng rng(pkb::util::seed_from(request.question, config_.seed));
 
   Draft draft = request.contexts.empty() ? answer_parametric(request, rng)
@@ -394,6 +400,21 @@ LlmResponse SimLlm::complete(const LlmRequest& request) const {
       std::exp(rng.uniform(-jitter_span, jitter_span));
   resp.latency_seconds =
       (config_.latency_base_seconds + prefill + decode) * jitter;
+
+  span.set_attr("mode", resp.mode);
+  span.set_attr("prompt_tokens", resp.prompt_tokens);
+  span.set_attr("completion_tokens", resp.completion_tokens);
+  span.set_attr("sim_latency_s", resp.latency_seconds);
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  const obs::LabelSet model_label{{"model", config_.name}};
+  metrics.counter(obs::kLlmRequestsTotal, model_label).inc();
+  metrics.counter(obs::kLlmModeTotal, {{"mode", resp.mode}}).inc();
+  metrics.counter(obs::kLlmPromptTokensTotal, model_label)
+      .inc(resp.prompt_tokens);
+  metrics.counter(obs::kLlmCompletionTokensTotal, model_label)
+      .inc(resp.completion_tokens);
+  metrics.histogram(obs::kLlmSimLatencySeconds, model_label)
+      .observe(resp.latency_seconds);
   return resp;
 }
 

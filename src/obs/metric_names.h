@@ -1,0 +1,77 @@
+#pragma once
+// The observability contract's stable identifiers: every metric name and
+// span name used by the instrumentation, in one place. Instrumented code
+// refers to these constants, never to string literals, so that
+// scripts/check_docs.sh can verify each name is documented in
+// docs/OBSERVABILITY.md (the ctest `check_docs` target). Names here are
+// append-only — see the stability promise in that document.
+
+#include <string_view>
+
+namespace pkb::obs {
+
+// --- counters -------------------------------------------------------------
+inline constexpr std::string_view kWorkflowRequestsTotal =
+    "pkb_workflow_requests_total";
+inline constexpr std::string_view kRetrieveRequestsTotal =
+    "pkb_retrieve_requests_total";
+inline constexpr std::string_view kRetrieveCandidatesTotal =
+    "pkb_retrieve_candidates_total";
+inline constexpr std::string_view kRerankRequestsTotal =
+    "pkb_rerank_requests_total";
+inline constexpr std::string_view kRerankCandidatesTotal =
+    "pkb_rerank_candidates_total";
+inline constexpr std::string_view kEmbedBatchDocsTotal =
+    "pkb_embed_batch_docs_total";
+inline constexpr std::string_view kVectordbSearchesTotal =
+    "pkb_vectordb_searches_total";
+inline constexpr std::string_view kIvfSearchesTotal = "pkb_ivf_searches_total";
+inline constexpr std::string_view kIvfProbesTotal = "pkb_ivf_probes_total";
+inline constexpr std::string_view kLlmRequestsTotal = "pkb_llm_requests_total";
+inline constexpr std::string_view kLlmModeTotal = "pkb_llm_mode_total";
+inline constexpr std::string_view kLlmPromptTokensTotal =
+    "pkb_llm_prompt_tokens_total";
+inline constexpr std::string_view kLlmCompletionTokensTotal =
+    "pkb_llm_completion_tokens_total";
+inline constexpr std::string_view kBotsMessagesTotal =
+    "pkb_bots_messages_total";
+inline constexpr std::string_view kBotsRepliesTotal = "pkb_bots_replies_total";
+inline constexpr std::string_view kBotsButtonPressesTotal =
+    "pkb_bots_button_presses_total";
+
+// --- gauges ---------------------------------------------------------------
+inline constexpr std::string_view kVectordbEntries = "pkb_vectordb_entries";
+inline constexpr std::string_view kIvfClusters = "pkb_ivf_clusters";
+
+// --- histograms (seconds) -------------------------------------------------
+inline constexpr std::string_view kWorkflowAskSeconds =
+    "pkb_workflow_ask_seconds";
+inline constexpr std::string_view kRetrieveRagSeconds =
+    "pkb_retrieve_rag_seconds";
+inline constexpr std::string_view kRetrieveEmbedSeconds =
+    "pkb_retrieve_embed_seconds";
+inline constexpr std::string_view kRetrieveSearchSeconds =
+    "pkb_retrieve_search_seconds";
+inline constexpr std::string_view kRerankSeconds = "pkb_rerank_seconds";
+inline constexpr std::string_view kVectordbSearchSeconds =
+    "pkb_vectordb_search_seconds";
+inline constexpr std::string_view kIvfSearchSeconds = "pkb_ivf_search_seconds";
+inline constexpr std::string_view kEmbedBatchSeconds =
+    "pkb_embed_batch_seconds";
+inline constexpr std::string_view kLlmSimLatencySeconds =
+    "pkb_llm_sim_latency_seconds";
+
+// --- span names -----------------------------------------------------------
+inline constexpr std::string_view kSpanAsk = "ask";
+inline constexpr std::string_view kSpanRetrieve = "retrieve";
+inline constexpr std::string_view kSpanEmbedQuery = "embed_query";
+inline constexpr std::string_view kSpanVectorSearch = "vector_search";
+inline constexpr std::string_view kSpanKeywordAugment = "keyword_augment";
+inline constexpr std::string_view kSpanRerank = "rerank";
+inline constexpr std::string_view kSpanHistoryRecall = "history_recall";
+inline constexpr std::string_view kSpanPromptBuild = "prompt_build";
+inline constexpr std::string_view kSpanLlm = "llm";
+inline constexpr std::string_view kSpanPostprocess = "postprocess";
+inline constexpr std::string_view kSpanHistoryRecord = "history_record";
+
+}  // namespace pkb::obs

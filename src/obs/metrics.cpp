@@ -1,0 +1,308 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pkb::obs {
+
+namespace {
+
+/// Shortest %g rendering — round-trips typical latency values and prints
+/// integers without a trailing ".0" (Prometheus-friendly).
+std::string render_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+/// Escape a label value for the Prometheus text format.
+std::string escape_label_value(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Render a sorted label set as `{k="v",...}`; empty labels render as "".
+/// `extra` appends one more pair (used for histogram `le`).
+std::string render_labels(const LabelSet& labels,
+                          const std::pair<std::string, std::string>* extra =
+                              nullptr) {
+  if (labels.empty() && extra == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  auto append = [&](const std::string& k, const std::string& v) {
+    if (!first) out += ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape_label_value(v);
+    out += "\"";
+  };
+  for (const auto& [k, v] : labels) append(k, v);
+  if (extra != nullptr) append(extra->first, extra->second);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> default_latency_buckets() {
+  return {1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 0.01,
+          0.025, 0.05,  0.1,  0.25, 0.5,    1.0,  2.5,  5.0,    10.0, 25.0};
+}
+
+Histogram::Histogram(std::vector<double> bounds) {
+  if (bounds.empty()) {
+    throw std::invalid_argument("Histogram: need at least one bucket bound");
+  }
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    if (!(bounds[i] > bounds[i - 1])) {
+      throw std::invalid_argument("Histogram: bounds must strictly increase");
+    }
+  }
+  data_.bounds = std::move(bounds);
+  data_.buckets.assign(data_.bounds.size() + 1, 0);
+}
+
+void Histogram::observe(double x) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it =
+      std::lower_bound(data_.bounds.begin(), data_.bounds.end(), x);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - data_.bounds.begin());
+  ++data_.buckets[bucket];
+  if (data_.count == 0 || x < data_.min) data_.min = x;
+  if (data_.count == 0 || x > data_.max) data_.max = x;
+  data_.sum += x;
+  ++data_.count;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.count = 0;
+  data_.sum = data_.min = data_.max = 0.0;
+  std::fill(data_.buckets.begin(), data_.buckets.end(), 0);
+}
+
+double Histogram::Snapshot::mean() const {
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double Histogram::Snapshot::percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 100.0);
+  const double target = q / 100.0 * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t prev = cum;
+    cum += buckets[i];
+    if (static_cast<double>(cum) >= target && buckets[i] > 0) {
+      // Linear interpolation within the bucket that crosses the target.
+      const double lo = i == 0 ? std::min(min, bounds[0]) : bounds[i - 1];
+      const double hi = i < bounds.size() ? bounds[i] : max;
+      const double frac =
+          (target - static_cast<double>(prev)) /
+          static_cast<double>(buckets[i]);
+      return std::clamp(lo + (hi - lo) * std::clamp(frac, 0.0, 1.0), min, max);
+    }
+  }
+  return max;
+}
+
+MetricsRegistry::Series& MetricsRegistry::find_or_create(
+    std::string_view name, LabelSet labels, Kind kind,
+    std::vector<double> bounds) {
+  std::sort(labels.begin(), labels.end());
+  const std::string key = render_labels(labels);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [fit, family_inserted] = families_.try_emplace(std::string(name));
+  Family& family = fit->second;
+  if (family_inserted) {
+    family.kind = kind;
+  } else if (family.kind != kind) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered with a different kind");
+  }
+  auto [sit, series_inserted] = family.series.try_emplace(key);
+  Series& series = sit->second;
+  if (series_inserted) {
+    series.labels = std::move(labels);
+    switch (kind) {
+      case Kind::Counter:
+        series.counter = std::make_unique<Counter>();
+        break;
+      case Kind::Gauge:
+        series.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::Histogram:
+        series.histogram = std::make_unique<Histogram>(
+            bounds.empty() ? default_latency_buckets() : std::move(bounds));
+        break;
+    }
+  }
+  return series;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, LabelSet labels) {
+  return *find_or_create(name, std::move(labels), Kind::Counter, {}).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, LabelSet labels) {
+  return *find_or_create(name, std::move(labels), Kind::Gauge, {}).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, LabelSet labels,
+                                      std::vector<double> bounds) {
+  return *find_or_create(name, std::move(labels), Kind::Histogram,
+                         std::move(bounds))
+              .histogram;
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [name, family] : families_) n += family.series.size();
+  return n;
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    out += "# TYPE " + name + " ";
+    switch (family.kind) {
+      case Kind::Counter:
+        out += "counter\n";
+        break;
+      case Kind::Gauge:
+        out += "gauge\n";
+        break;
+      case Kind::Histogram:
+        out += "histogram\n";
+        break;
+    }
+    for (const auto& [key, series] : family.series) {
+      switch (family.kind) {
+        case Kind::Counter:
+          out += name + key + " " +
+                 std::to_string(series.counter->value()) + "\n";
+          break;
+        case Kind::Gauge:
+          out += name + key + " " + render_number(series.gauge->value()) +
+                 "\n";
+          break;
+        case Kind::Histogram: {
+          const Histogram::Snapshot snap = series.histogram->snapshot();
+          std::uint64_t cum = 0;
+          for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+            cum += snap.buckets[i];
+            const std::pair<std::string, std::string> le{
+                "le", i < snap.bounds.size() ? render_number(snap.bounds[i])
+                                             : "+Inf"};
+            out += name + "_bucket" + render_labels(series.labels, &le) +
+                   " " + std::to_string(cum) + "\n";
+          }
+          out += name + "_sum" + key + " " + render_number(snap.sum) + "\n";
+          out += name + "_count" + key + " " + std::to_string(snap.count) +
+                 "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+pkb::util::Json MetricsRegistry::json() const {
+  using pkb::util::Json;
+  std::lock_guard<std::mutex> lock(mu_);
+  Json counters = Json::array();
+  Json gauges = Json::array();
+  Json histograms = Json::array();
+  for (const auto& [name, family] : families_) {
+    for (const auto& [key, series] : family.series) {
+      Json entry = Json::object();
+      entry.set("name", name);
+      Json labels = Json::object();
+      for (const auto& [k, v] : series.labels) labels.set(k, v);
+      entry.set("labels", std::move(labels));
+      switch (family.kind) {
+        case Kind::Counter:
+          entry.set("value", series.counter->value());
+          counters.push_back(std::move(entry));
+          break;
+        case Kind::Gauge:
+          entry.set("value", series.gauge->value());
+          gauges.push_back(std::move(entry));
+          break;
+        case Kind::Histogram: {
+          const Histogram::Snapshot snap = series.histogram->snapshot();
+          entry.set("count", snap.count);
+          entry.set("sum", snap.sum);
+          entry.set("min", snap.min);
+          entry.set("max", snap.max);
+          entry.set("mean", snap.mean());
+          entry.set("p50", snap.percentile(50));
+          entry.set("p90", snap.percentile(90));
+          entry.set("p99", snap.percentile(99));
+          Json buckets = Json::array();
+          std::uint64_t cum = 0;
+          for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+            cum += snap.buckets[i];
+            Json b = Json::object();
+            if (i < snap.bounds.size()) {
+              b.set("le", snap.bounds[i]);
+            } else {
+              b.set("le", "+Inf");
+            }
+            b.set("count", cum);
+            buckets.push_back(std::move(b));
+          }
+          entry.set("buckets", std::move(buckets));
+          histograms.push_back(std::move(entry));
+          break;
+        }
+      }
+    }
+  }
+  Json out = Json::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, family] : families_) {
+    for (auto& [key, series] : family.series) {
+      if (series.counter) series.counter->reset();
+      if (series.gauge) series.gauge->reset();
+      if (series.histogram) series.histogram->reset();
+    }
+  }
+}
+
+MetricsRegistry& global_metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+}  // namespace pkb::obs

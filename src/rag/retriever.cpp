@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/clock.h"
 
 namespace pkb::rag {
@@ -16,16 +19,33 @@ Retriever::Retriever(const RagDatabase& db, RetrieverOptions opts)
 }
 
 RetrievalResult Retriever::retrieve(std::string_view query) const {
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  metrics.counter(obs::kRetrieveRequestsTotal).inc();
+  obs::Span span(obs::global_tracer(), obs::kSpanRetrieve);
+  span.set_attr("k", opts_.first_pass_k);
+  span.set_attr("l", opts_.final_l);
+
   RetrievalResult result;
   pkb::util::Stopwatch watch;
 
   // --- First pass 1/2: embedding search (box 1 of Fig 3). ---
-  const embed::Vector query_vec = db_.embedder().embed(query);
+  embed::Vector query_vec;
+  {
+    obs::Span embed_span(obs::global_tracer(), obs::kSpanEmbedQuery);
+    query_vec = db_.embedder().embed(query);
+    embed_span.set_attr("embedder", db_.embedder().name());
+    embed_span.set_attr("dim", query_vec.size());
+  }
   result.embed_seconds = watch.seconds();
   watch.reset();
 
-  const auto vector_hits =
-      db_.store().similarity_search(query_vec, opts_.first_pass_k);
+  std::vector<vectordb::SearchResult> vector_hits;
+  {
+    obs::Span search_span(obs::global_tracer(), obs::kSpanVectorSearch);
+    vector_hits =
+        db_.store().similarity_search(query_vec, opts_.first_pass_k);
+    search_span.set_attr("hits", vector_hits.size());
+  }
 
   // --- First pass 2/2: PETSc keyword augmentation (§III-C). ---
   // Candidates dedup by chunk id: vector hits point into the store's copy
@@ -42,11 +62,15 @@ RetrievalResult Retriever::retrieve(std::string_view query) const {
     candidates.push_back(std::move(ctx));
   }
   if (opts_.use_keyword_search) {
+    obs::Span keyword_span(obs::global_tracer(), obs::kSpanKeywordAugment);
+    std::size_t added = 0;
+    std::size_t merged = 0;
     for (const lexical::KeywordHit& hit : db_.symbols().lookup(query)) {
       for (std::size_t chunk_index : hit.chunks) {
         const text::Document* doc = &db_.chunks()[chunk_index];
         auto it = pos.find(std::string_view(doc->id));
         if (it != pos.end()) {
+          if (candidates[it->second].via == "vector") ++merged;
           candidates[it->second].via = "vector+keyword";
           continue;
         }
@@ -57,15 +81,41 @@ RetrievalResult Retriever::retrieve(std::string_view query) const {
         ctx.first_pass_rank = candidates.size();
         pos.emplace(std::string_view(doc->id), candidates.size());
         candidates.push_back(std::move(ctx));
+        ++added;
       }
     }
+    keyword_span.set_attr("added", added);
+    keyword_span.set_attr("merged", merged);
   }
   result.search_seconds = watch.seconds();
   result.first_pass = candidates;
 
+  // Candidate provenance counters (one registry lookup per label value).
+  {
+    std::size_t by_via[3] = {0, 0, 0};
+    for (const RetrievedContext& ctx : candidates) {
+      if (ctx.via == "vector") ++by_via[0];
+      else if (ctx.via == "keyword") ++by_via[1];
+      else ++by_via[2];
+    }
+    static constexpr std::string_view kVia[3] = {"vector", "keyword",
+                                                 "vector+keyword"};
+    for (int i = 0; i < 3; ++i) {
+      if (by_via[i] > 0) {
+        metrics
+            .counter(obs::kRetrieveCandidatesTotal,
+                     {{"via", std::string(kVia[i])}})
+            .inc(by_via[i]);
+      }
+    }
+  }
+
   // --- Second pass: reranking K (+ keyword extras) down to L (§III-D). ---
   if (reranker_ != nullptr) {
     watch.reset();
+    obs::Span rerank_span(obs::global_tracer(), obs::kSpanRerank);
+    rerank_span.set_attr("reranker", reranker_->name());
+    rerank_span.set_attr("in", candidates.size());
     std::vector<rerank::RerankCandidate> rc;
     rc.reserve(candidates.size());
     for (const RetrievedContext& ctx : candidates) {
@@ -79,12 +129,20 @@ RetrievalResult Retriever::retrieve(std::string_view query) const {
       ctx.score = rr.score;
       result.contexts.push_back(std::move(ctx));
     }
+    rerank_span.set_attr("out", result.contexts.size());
     result.rerank_seconds = watch.seconds();
   } else {
     // Plain RAG: first-pass order, unreranked. All candidates are passed on;
     // the model's attention window (L) decides what is actually read.
     result.contexts = candidates;
   }
+
+  span.set_attr("candidates", candidates.size());
+  span.set_attr("kept", result.contexts.size());
+  metrics.histogram(obs::kRetrieveEmbedSeconds).observe(result.embed_seconds);
+  metrics.histogram(obs::kRetrieveSearchSeconds)
+      .observe(result.search_seconds);
+  metrics.histogram(obs::kRetrieveRagSeconds).observe(result.rag_seconds());
   return result;
 }
 

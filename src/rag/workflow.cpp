@@ -1,5 +1,8 @@
 #include "rag/workflow.h"
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rag/prompts.h"
 #include "util/clock.h"
 
@@ -45,6 +48,15 @@ void AugmentedWorkflow::attach_history_retrieval(
 }
 
 WorkflowOutcome AugmentedWorkflow::ask(std::string_view question) const {
+  const std::string arm_name(to_string(arm_));
+  obs::global_metrics()
+      .counter(obs::kWorkflowRequestsTotal, {{"arm", arm_name}})
+      .inc();
+  pkb::util::Stopwatch ask_watch;
+  obs::Span span(obs::global_tracer(), obs::kSpanAsk);
+  span.set_attr("arm", arm_name);
+  span.set_attr("model", llm_.config().name);
+
   WorkflowOutcome outcome;
 
   llm::LlmRequest request;
@@ -61,22 +73,36 @@ WorkflowOutcome AugmentedWorkflow::ask(std::string_view question) const {
     request.system = PromptLibrary::baseline_system_prompt();
   }
   if (history_retriever_ != nullptr) {
+    obs::Span recall_span(obs::global_tracer(), obs::kSpanHistoryRecall);
     // Shared-history recall: past vetted answers join the context list
     // (after the document contexts, competing for the attention window).
+    const std::size_t before = request.contexts.size();
     for (llm::ContextDoc& ctx : history_retriever_->lookup(question)) {
       request.contexts.push_back(std::move(ctx));
     }
+    recall_span.set_attr("added", request.contexts.size() - before);
     if (!request.contexts.empty() && request.system.empty()) {
       request.system = PromptLibrary::qa_system_prompt();
     }
   }
-  outcome.prompt = PromptLibrary::render_user_prompt(question,
-                                                     request.contexts);
+  {
+    obs::Span prompt_span(obs::global_tracer(), obs::kSpanPromptBuild);
+    outcome.prompt = PromptLibrary::render_user_prompt(question,
+                                                       request.contexts);
+    prompt_span.set_attr("contexts", request.contexts.size());
+    prompt_span.set_attr("chars", outcome.prompt.size());
+  }
 
   outcome.response = llm_.complete(request);
-  outcome.processed = post::postprocess_llm_output(outcome.response.text);
+  {
+    obs::Span post_span(obs::global_tracer(), obs::kSpanPostprocess);
+    outcome.processed = post::postprocess_llm_output(outcome.response.text);
+    post_span.set_attr("code_blocks", outcome.processed.code_reports.size());
+    post_span.set_attr("all_code_ok", outcome.processed.all_code_ok);
+  }
 
   if (history_ != nullptr) {
+    obs::Span record_span(obs::global_tracer(), obs::kSpanHistoryRecord);
     history::InteractionRecord record;
     record.timestamp = clock_ != nullptr ? clock_->now() : 0.0;
     record.question = std::string(question);
@@ -94,11 +120,15 @@ WorkflowOutcome AugmentedWorkflow::ask(std::string_view question) const {
     record.latency_seconds =
         outcome.retrieval.rag_seconds() + outcome.response.latency_seconds;
     outcome.history_id = history_->add(std::move(record));
+    record_span.set_attr("record_id", outcome.history_id);
     if (clock_ != nullptr) {
       clock_->advance(outcome.retrieval.rag_seconds() +
                       outcome.response.latency_seconds);
     }
   }
+  obs::global_metrics()
+      .histogram(obs::kWorkflowAskSeconds, {{"arm", arm_name}})
+      .observe(ask_watch.seconds());
   return outcome;
 }
 

@@ -2,8 +2,25 @@
 // Leveled logging to stderr.
 //
 // Default level is Warn so tests stay quiet; examples raise it to Info to
-// narrate workflows. Thread-safe (a single mutex around emission).
+// narrate workflows. Thread-safe: the level is an atomic and emission takes a
+// single mutex, so interleaved messages never tear.
+//
+// Logging vs. metrics (src/obs/): logs are for humans reading a narrative of
+// one run ("built 188 chunks"); metrics are for aggregation across many
+// requests (counters, latency histograms). Instrumented code uses both — a
+// PKB_LOG line where a person would want to watch, an obs:: counter or
+// histogram where a dashboard would. Never parse log text to compute a
+// number; record it in the metrics registry instead (docs/OBSERVABILITY.md).
+//
+// Disabled statements are free: PKB_LOG(Trace, "hot") << expensive() checks
+// the level before constructing the stream buffer, so `expensive()` and all
+// formatting are skipped when Trace is below the threshold.
+//
+// Usage:
+//   PKB_LOG(Info, "rag") << "built " << n << " chunks";
+//   set_log_level(LogLevel::Debug);   // widen for a noisy section
 
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -18,27 +35,43 @@ enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
 /// Set the global threshold.
 void set_log_level(LogLevel level);
 
+/// Would a message at `level` be emitted right now? Cheap (one relaxed
+/// atomic load) — this is the hot-path short-circuit.
+[[nodiscard]] inline bool log_enabled(LogLevel level) {
+  const LogLevel threshold = log_level();
+  return level >= threshold && threshold != LogLevel::Off;
+}
+
 /// Emit one message at `level` from component `tag`.
 void log_message(LogLevel level, std::string_view tag, std::string_view msg);
 
 /// Stream-style helper: PKB_LOG(Info, "rag") << "built " << n << " chunks";
+///
+/// The level check happens once, at construction. When the statement is
+/// below the threshold no ostringstream is ever created and operator<<
+/// never formats its argument, so disabled logging costs one atomic load.
 class LogStream {
  public:
-  LogStream(LogLevel level, std::string_view tag) : level_(level), tag_(tag) {}
-  ~LogStream() { log_message(level_, tag_, stream_.str()); }
+  LogStream(LogLevel level, std::string_view tag)
+      : level_(level), tag_(tag) {
+    if (log_enabled(level_)) buf_.emplace();
+  }
+  ~LogStream() {
+    if (buf_.has_value()) log_message(level_, tag_, buf_->str());
+  }
   LogStream(const LogStream&) = delete;
   LogStream& operator=(const LogStream&) = delete;
 
   template <typename T>
   LogStream& operator<<(const T& v) {
-    stream_ << v;
+    if (buf_.has_value()) *buf_ << v;
     return *this;
   }
 
  private:
   LogLevel level_;
   std::string tag_;
-  std::ostringstream stream_;
+  std::optional<std::ostringstream> buf_;
 };
 
 }  // namespace pkb::util

@@ -2,6 +2,16 @@
 // Streaming summary statistics (min/max/mean/stddev/percentiles).
 //
 // Used by the Table II latency benchmark and by the evaluation aggregates.
+// These are single-run, single-thread accumulators; the cross-request,
+// thread-safe counterpart is the metrics registry in src/obs/metrics.h,
+// whose histograms report the same min/max/avg over the same samples
+// (docs/OBSERVABILITY.md). Not thread-safe — confine each instance to one
+// thread or guard it externally.
+//
+// Usage:
+//   Summary latencies;
+//   for (double s : run()) latencies.add(s);
+//   std::printf("%s\n", latencies.min_max_avg(2).c_str());
 
 #include <cstddef>
 #include <string>
@@ -51,11 +61,13 @@ class Summary {
 };
 
 /// Histogram with fixed-width bins over [lo, hi); out-of-range samples clamp
-/// to the edge bins. Used for score-distribution displays.
+/// to the edge bins. Used for score-distribution displays (distinct from
+/// obs::Histogram, whose log-spaced buckets serve latency aggregation).
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
 
+  /// Record one sample into its bin.
   void add(double x);
 
   [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }

@@ -5,6 +5,16 @@
 // `parallel_for` over contiguous index ranges. The pool is created once and
 // reused (threads are expensive); `global_pool()` provides a lazily
 // constructed process-wide instance sized to the hardware.
+//
+// Thread-safety: `submit` and `parallel_for` may be called from any thread,
+// including concurrently. Do NOT call `parallel_for` from inside a pool
+// task (i.e. from `fn`): the inner call blocks a worker on futures that
+// need a free worker to run, which can deadlock when the pool is saturated.
+//
+// Usage:
+//   std::vector<float> scores(n);
+//   parallel_for(0, n, [&](std::size_t i) { scores[i] = score(i); },
+//                /*min_block=*/256);
 
 #include <condition_variable>
 #include <cstddef>

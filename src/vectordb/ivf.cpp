@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "util/clock.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -107,11 +110,17 @@ void IvfIndex::build() {
     }
     buckets_[arg].push_back(i);
   }
+  obs::global_metrics()
+      .gauge(obs::kIvfClusters)
+      .set(static_cast<double>(centroids_.size()));
 }
 
 std::vector<SearchResult> IvfIndex::search(const embed::Vector& query,
                                            std::size_t k) const {
   if (k == 0) return {};
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  metrics.counter(obs::kIvfSearchesTotal).inc();
+  pkb::util::Stopwatch watch;
   embed::Vector q = query;
   embed::l2_normalize(q);
 
@@ -142,6 +151,8 @@ std::vector<SearchResult> IvfIndex::search(const embed::Vector& query,
     return a.index < b.index;
   });
   if (hits.size() > k) hits.resize(k);
+  metrics.counter(obs::kIvfProbesTotal).inc(probes);
+  metrics.histogram(obs::kIvfSearchSeconds).observe(watch.seconds());
   return hits;
 }
 

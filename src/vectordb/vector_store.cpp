@@ -6,6 +6,9 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "util/clock.h"
 #include "util/thread_pool.h"
 
 namespace pkb::vectordb {
@@ -33,6 +36,9 @@ void VectorStore::add_raw(text::Document doc, embed::Vector vec) {
   }
   docs_.push_back(std::move(doc));
   vecs_.push_back(std::move(vec));
+  obs::global_metrics()
+      .gauge(obs::kVectordbEntries)
+      .set(static_cast<double>(docs_.size()));
 }
 
 const text::Document& VectorStore::doc(std::size_t i) const {
@@ -50,6 +56,9 @@ std::vector<SearchResult> VectorStore::similarity_search(
   if (query.size() != dim_) {
     throw std::invalid_argument("similarity_search: dimension mismatch");
   }
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  metrics.counter(obs::kVectordbSearchesTotal).inc();
+  pkb::util::Stopwatch watch;
   embed::Vector q = query;
   embed::l2_normalize(q);
 
@@ -81,6 +90,7 @@ std::vector<SearchResult> VectorStore::similarity_search(
   for (std::size_t i : order) {
     out.push_back(SearchResult{i, scores[i], &docs_[i]});
   }
+  metrics.histogram(obs::kVectordbSearchSeconds).observe(watch.seconds());
   return out;
 }
 
