@@ -21,15 +21,15 @@ std::string_view to_string(ButtonResult result) {
   return "?";
 }
 
-ChatBot::ChatBot(const rag::AugmentedWorkflow* workflow, DiscordServer* server,
+ChatBot::ChatBot(const rag::QuestionService* service, DiscordServer* server,
                  MailingList* list, std::string forum_channel,
                  std::string bot_email_address)
-    : workflow_(workflow),
+    : service_(service),
       server_(server),
       list_(list),
       forum_channel_(std::move(forum_channel)),
       bot_email_address_(std::move(bot_email_address)) {
-  if (workflow_ == nullptr || server_ == nullptr || list_ == nullptr) {
+  if (service_ == nullptr || server_ == nullptr || list_ == nullptr) {
     throw std::invalid_argument("ChatBot: null dependency");
   }
 }
@@ -57,7 +57,7 @@ std::uint64_t ChatBot::attach_draft(std::uint64_t post_id,
     question += "\nDeveloper guidance for the reply: ";
     question += extra_guidance;
   }
-  const rag::WorkflowOutcome outcome = workflow_->ask(question);
+  const rag::WorkflowOutcome outcome = service_->answer(question);
 
   const std::uint64_t draft_id = server_->add_to_post(
       forum_channel_, post_id, "petsc-chatbot",
@@ -151,7 +151,7 @@ ButtonResult ChatBot::press_revise(std::uint64_t draft_id,
 std::string ChatBot::direct_message(std::string_view user,
                                     std::string_view text) {
   (void)user;  // private conversation; no recording, no vetting
-  return workflow_->ask(text).response.text;
+  return service_->answer(text).response.text;
 }
 
 }  // namespace pkb::bots

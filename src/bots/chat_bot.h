@@ -35,9 +35,10 @@ enum class ButtonResult {
 
 class ChatBot {
  public:
-  /// `workflow` generates the drafts (typically the rag+rerank arm);
-  /// `list` is where send() posts; `server` hosts the forum channel.
-  ChatBot(const rag::AugmentedWorkflow* workflow, DiscordServer* server,
+  /// `service` generates the drafts — either an AugmentedWorkflow directly
+  /// (typically the rag+rerank arm) or a serve::Server front end wrapping
+  /// one; `list` is where send() posts; `server` hosts the forum channel.
+  ChatBot(const rag::QuestionService* service, DiscordServer* server,
           MailingList* list, std::string forum_channel,
           std::string bot_email_address);
 
@@ -80,7 +81,7 @@ class ChatBot {
                              std::string_view context,
                              std::string_view extra_guidance);
 
-  const rag::AugmentedWorkflow* workflow_;
+  const rag::QuestionService* service_;
   DiscordServer* server_;
   MailingList* list_;
   std::string forum_channel_;

@@ -10,13 +10,35 @@ namespace pkb::history {
 
 using pkb::util::Json;
 
+HistoryStore::HistoryStore(HistoryStore&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  records_ = std::move(other.records_);
+  next_id_ = other.next_id_;
+}
+
+HistoryStore& HistoryStore::operator=(HistoryStore&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock lock(mu_, other.mu_);
+    records_ = std::move(other.records_);
+    next_id_ = other.next_id_;
+  }
+  return *this;
+}
+
 std::uint64_t HistoryStore::add(InteractionRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
   record.id = next_id_++;
   records_.push_back(std::move(record));
   return records_.back().id;
 }
 
+std::size_t HistoryStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
 const InteractionRecord* HistoryStore::get(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const InteractionRecord& r : records_) {
     if (r.id == id) return &r;
   }
@@ -25,6 +47,7 @@ const InteractionRecord* HistoryStore::get(std::uint64_t id) const {
 
 std::vector<const InteractionRecord*> HistoryStore::search(
     std::string_view needle) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<const InteractionRecord*> out;
   for (const InteractionRecord& r : records_) {
     if (pkb::util::icontains(r.question, needle) ||
@@ -37,6 +60,7 @@ std::vector<const InteractionRecord*> HistoryStore::search(
 
 std::vector<const InteractionRecord*> HistoryStore::by_pipeline(
     std::string_view pipeline) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<const InteractionRecord*> out;
   for (const InteractionRecord& r : records_) {
     if (r.pipeline == pipeline) out.push_back(&r);
@@ -47,9 +71,12 @@ std::vector<const InteractionRecord*> HistoryStore::by_pipeline(
 std::vector<BlindItem> HistoryStore::blind_batch(std::string_view pipeline,
                                                  std::uint64_t seed) const {
   std::vector<BlindItem> batch;
-  for (const InteractionRecord& r : records_) {
-    if (!pipeline.empty() && r.pipeline != pipeline) continue;
-    batch.push_back(BlindItem{r.id, r.question, r.response});
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const InteractionRecord& r : records_) {
+      if (!pipeline.empty() && r.pipeline != pipeline) continue;
+      batch.push_back(BlindItem{r.id, r.question, r.response});
+    }
   }
   pkb::util::Rng rng(seed);
   rng.shuffle(batch);
@@ -58,6 +85,7 @@ std::vector<BlindItem> HistoryStore::blind_batch(std::string_view pipeline,
 
 bool HistoryStore::record_score(std::uint64_t record_id, ScoreRecord score) {
   if (score.score < 0 || score.score > 4) return false;
+  std::lock_guard<std::mutex> lock(mu_);
   for (InteractionRecord& r : records_) {
     if (r.id == record_id) {
       r.scores.push_back(std::move(score));
@@ -68,14 +96,19 @@ bool HistoryStore::record_score(std::uint64_t record_id, ScoreRecord score) {
 }
 
 std::optional<double> HistoryStore::mean_score(std::uint64_t record_id) const {
-  const InteractionRecord* r = get(record_id);
-  if (r == nullptr || r->scores.empty()) return std::nullopt;
-  double sum = 0.0;
-  for (const ScoreRecord& s : r->scores) sum += s.score;
-  return sum / static_cast<double>(r->scores.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const InteractionRecord& r : records_) {
+    if (r.id != record_id) continue;
+    if (r.scores.empty()) return std::nullopt;
+    double sum = 0.0;
+    for (const ScoreRecord& s : r.scores) sum += s.score;
+    return sum / static_cast<double>(r.scores.size());
+  }
+  return std::nullopt;
 }
 
 Json HistoryStore::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
   Json records = Json::array();
   for (const InteractionRecord& r : records_) {
     Json rec = Json::object();

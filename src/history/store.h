@@ -8,6 +8,8 @@
 // shuffled order and assign rubric scores, which are recorded back.
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -49,15 +51,33 @@ struct BlindItem {
 };
 
 /// The interaction database.
+///
+/// Thread-safety: every method is guarded by one internal mutex, so
+/// concurrent serving workers can append to a shared store. Records live in
+/// a deque: a pointer returned by get()/search()/by_pipeline() stays valid
+/// across later add() calls (appends never relocate existing records).
+/// Reading *through* such a pointer while another thread scores the same
+/// record is still a race — hold results, not live views, across threads.
 class HistoryStore {
  public:
+  HistoryStore() = default;
+
+  /// Movable (for load()/from_json() factories); not copyable. Moving while
+  /// other threads use the source is undefined, as for any container.
+  HistoryStore(HistoryStore&& other) noexcept;
+  HistoryStore& operator=(HistoryStore&& other) noexcept;
+  HistoryStore(const HistoryStore&) = delete;
+  HistoryStore& operator=(const HistoryStore&) = delete;
+
   /// Append a record; returns its assigned id.
   std::uint64_t add(InteractionRecord record);
 
-  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] std::size_t size() const;
 
-  /// All records in insertion order.
-  [[nodiscard]] const std::vector<InteractionRecord>& records() const {
+  /// All records in insertion order. The reference is only stable while no
+  /// other thread mutates the store; prefer the query methods under
+  /// concurrency.
+  [[nodiscard]] const std::deque<InteractionRecord>& records() const {
     return records_;
   }
 
@@ -93,7 +113,8 @@ class HistoryStore {
   static HistoryStore load(const std::string& path);
 
  private:
-  std::vector<InteractionRecord> records_;
+  mutable std::mutex mu_;
+  std::deque<InteractionRecord> records_;
   std::uint64_t next_id_ = 1;
 };
 

@@ -25,6 +25,10 @@ inline constexpr std::string_view kEmbedBatchDocsTotal =
     "pkb_embed_batch_docs_total";
 inline constexpr std::string_view kVectordbSearchesTotal =
     "pkb_vectordb_searches_total";
+inline constexpr std::string_view kVectordbBatchSearchesTotal =
+    "pkb_vectordb_batch_searches_total";
+inline constexpr std::string_view kVectordbBatchQueriesTotal =
+    "pkb_vectordb_batch_queries_total";
 inline constexpr std::string_view kIvfSearchesTotal = "pkb_ivf_searches_total";
 inline constexpr std::string_view kIvfProbesTotal = "pkb_ivf_probes_total";
 inline constexpr std::string_view kLlmRequestsTotal = "pkb_llm_requests_total";
@@ -38,10 +42,29 @@ inline constexpr std::string_view kBotsMessagesTotal =
 inline constexpr std::string_view kBotsRepliesTotal = "pkb_bots_replies_total";
 inline constexpr std::string_view kBotsButtonPressesTotal =
     "pkb_bots_button_presses_total";
+inline constexpr std::string_view kServeRequestsTotal =
+    "pkb_serve_requests_total";
+inline constexpr std::string_view kServeBatchesTotal =
+    "pkb_serve_batches_total";
+inline constexpr std::string_view kServeAnswerCacheHitsTotal =
+    "pkb_serve_answer_cache_hits_total";
+inline constexpr std::string_view kServeAnswerCacheMissesTotal =
+    "pkb_serve_answer_cache_misses_total";
+inline constexpr std::string_view kServeEmbedCacheHitsTotal =
+    "pkb_serve_embed_cache_hits_total";
+inline constexpr std::string_view kServeEmbedCacheMissesTotal =
+    "pkb_serve_embed_cache_misses_total";
+inline constexpr std::string_view kServeCacheEvictionsTotal =
+    "pkb_serve_cache_evictions_total";
+inline constexpr std::string_view kServeRejectedTotal =
+    "pkb_serve_rejected_total";
 
 // --- gauges ---------------------------------------------------------------
 inline constexpr std::string_view kVectordbEntries = "pkb_vectordb_entries";
 inline constexpr std::string_view kIvfClusters = "pkb_ivf_clusters";
+inline constexpr std::string_view kServeQueueDepth = "pkb_serve_queue_depth";
+inline constexpr std::string_view kServeWorkers = "pkb_serve_workers";
+inline constexpr std::string_view kServeInflight = "pkb_serve_inflight";
 
 // --- histograms (seconds) -------------------------------------------------
 inline constexpr std::string_view kWorkflowAskSeconds =
@@ -60,6 +83,14 @@ inline constexpr std::string_view kEmbedBatchSeconds =
     "pkb_embed_batch_seconds";
 inline constexpr std::string_view kLlmSimLatencySeconds =
     "pkb_llm_sim_latency_seconds";
+inline constexpr std::string_view kVectordbBatchSearchSeconds =
+    "pkb_vectordb_batch_search_seconds";
+inline constexpr std::string_view kServeRequestSeconds =
+    "pkb_serve_request_seconds";
+inline constexpr std::string_view kServeQueueWaitSeconds =
+    "pkb_serve_queue_wait_seconds";
+inline constexpr std::string_view kServePipelineSeconds =
+    "pkb_serve_pipeline_seconds";
 
 // --- span names -----------------------------------------------------------
 inline constexpr std::string_view kSpanAsk = "ask";
@@ -73,5 +104,9 @@ inline constexpr std::string_view kSpanPromptBuild = "prompt_build";
 inline constexpr std::string_view kSpanLlm = "llm";
 inline constexpr std::string_view kSpanPostprocess = "postprocess";
 inline constexpr std::string_view kSpanHistoryRecord = "history_record";
+inline constexpr std::string_view kSpanServeRequest = "serve_request";
+inline constexpr std::string_view kSpanServeBatch = "serve_batch";
+inline constexpr std::string_view kSpanVectorSearchBatch =
+    "vector_search_batch";
 
 }  // namespace pkb::obs

@@ -7,8 +7,21 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/clock.h"
+#include "util/thread_pool.h"
 
 namespace pkb::rag {
+
+namespace {
+
+void observe_stage_metrics(obs::MetricsRegistry& metrics,
+                           const RetrievalResult& result) {
+  metrics.histogram(obs::kRetrieveEmbedSeconds).observe(result.embed_seconds);
+  metrics.histogram(obs::kRetrieveSearchSeconds)
+      .observe(result.search_seconds);
+  metrics.histogram(obs::kRetrieveRagSeconds).observe(result.rag_seconds());
+}
+
+}  // namespace
 
 Retriever::Retriever(const RagDatabase& db, RetrieverOptions opts)
     : db_(db), opts_(std::move(opts)) {
@@ -18,34 +31,12 @@ Retriever::Retriever(const RagDatabase& db, RetrieverOptions opts)
   }
 }
 
-RetrievalResult Retriever::retrieve(std::string_view query) const {
+void Retriever::assemble_from_hits(
+    std::string_view query,
+    const std::vector<vectordb::SearchResult>& vector_hits,
+    RetrievalResult& result) const {
   obs::MetricsRegistry& metrics = obs::global_metrics();
-  metrics.counter(obs::kRetrieveRequestsTotal).inc();
-  obs::Span span(obs::global_tracer(), obs::kSpanRetrieve);
-  span.set_attr("k", opts_.first_pass_k);
-  span.set_attr("l", opts_.final_l);
-
-  RetrievalResult result;
   pkb::util::Stopwatch watch;
-
-  // --- First pass 1/2: embedding search (box 1 of Fig 3). ---
-  embed::Vector query_vec;
-  {
-    obs::Span embed_span(obs::global_tracer(), obs::kSpanEmbedQuery);
-    query_vec = db_.embedder().embed(query);
-    embed_span.set_attr("embedder", db_.embedder().name());
-    embed_span.set_attr("dim", query_vec.size());
-  }
-  result.embed_seconds = watch.seconds();
-  watch.reset();
-
-  std::vector<vectordb::SearchResult> vector_hits;
-  {
-    obs::Span search_span(obs::global_tracer(), obs::kSpanVectorSearch);
-    vector_hits =
-        db_.store().similarity_search(query_vec, opts_.first_pass_k);
-    search_span.set_attr("hits", vector_hits.size());
-  }
 
   // --- First pass 2/2: PETSc keyword augmentation (§III-C). ---
   // Candidates dedup by chunk id: vector hits point into the store's copy
@@ -87,7 +78,7 @@ RetrievalResult Retriever::retrieve(std::string_view query) const {
     keyword_span.set_attr("added", added);
     keyword_span.set_attr("merged", merged);
   }
-  result.search_seconds = watch.seconds();
+  result.search_seconds += watch.seconds();
   result.first_pass = candidates;
 
   // Candidate provenance counters (one registry lookup per label value).
@@ -136,14 +127,125 @@ RetrievalResult Retriever::retrieve(std::string_view query) const {
     // the model's attention window (L) decides what is actually read.
     result.contexts = candidates;
   }
+}
 
-  span.set_attr("candidates", candidates.size());
+RetrievalResult Retriever::retrieve(std::string_view query) const {
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  metrics.counter(obs::kRetrieveRequestsTotal).inc();
+  obs::Span span(obs::global_tracer(), obs::kSpanRetrieve);
+  span.set_attr("k", opts_.first_pass_k);
+  span.set_attr("l", opts_.final_l);
+
+  RetrievalResult result;
+  pkb::util::Stopwatch watch;
+
+  // --- First pass 1/2: embedding search (box 1 of Fig 3). ---
+  embed::Vector query_vec;
+  {
+    obs::Span embed_span(obs::global_tracer(), obs::kSpanEmbedQuery);
+    query_vec = db_.embedder().embed(query);
+    embed_span.set_attr("embedder", db_.embedder().name());
+    embed_span.set_attr("dim", query_vec.size());
+  }
+  result.embed_seconds = watch.seconds();
+  watch.reset();
+
+  std::vector<vectordb::SearchResult> vector_hits;
+  {
+    obs::Span search_span(obs::global_tracer(), obs::kSpanVectorSearch);
+    vector_hits =
+        db_.store().similarity_search(query_vec, opts_.first_pass_k);
+    search_span.set_attr("hits", vector_hits.size());
+  }
+  result.search_seconds = watch.seconds();
+
+  assemble_from_hits(query, vector_hits, result);
+  span.set_attr("candidates", result.first_pass.size());
   span.set_attr("kept", result.contexts.size());
-  metrics.histogram(obs::kRetrieveEmbedSeconds).observe(result.embed_seconds);
-  metrics.histogram(obs::kRetrieveSearchSeconds)
-      .observe(result.search_seconds);
-  metrics.histogram(obs::kRetrieveRagSeconds).observe(result.rag_seconds());
+  observe_stage_metrics(metrics, result);
   return result;
+}
+
+RetrievalResult Retriever::retrieve_with_embedding(
+    std::string_view query, const embed::Vector& query_vec) const {
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  metrics.counter(obs::kRetrieveRequestsTotal).inc();
+  obs::Span span(obs::global_tracer(), obs::kSpanRetrieve);
+  span.set_attr("k", opts_.first_pass_k);
+  span.set_attr("l", opts_.final_l);
+
+  RetrievalResult result;
+  pkb::util::Stopwatch watch;
+  std::vector<vectordb::SearchResult> vector_hits;
+  {
+    obs::Span search_span(obs::global_tracer(), obs::kSpanVectorSearch);
+    vector_hits =
+        db_.store().similarity_search(query_vec, opts_.first_pass_k);
+    search_span.set_attr("hits", vector_hits.size());
+  }
+  result.search_seconds = watch.seconds();
+
+  assemble_from_hits(query, vector_hits, result);
+  span.set_attr("candidates", result.first_pass.size());
+  span.set_attr("kept", result.contexts.size());
+  observe_stage_metrics(metrics, result);
+  return result;
+}
+
+std::vector<RetrievalResult> Retriever::retrieve_batch(
+    const std::vector<std::string>& queries) const {
+  if (queries.empty()) return {};
+  // Embed every query in parallel (the embedder is thread-safe after fit).
+  pkb::util::Stopwatch watch;
+  std::vector<embed::Vector> vecs(queries.size());
+  pkb::util::parallel_for(
+      0, queries.size(),
+      [&](std::size_t i) { vecs[i] = db_.embedder().embed(queries[i]); },
+      /*min_block=*/1);
+  const double embed_total = watch.seconds();
+
+  std::vector<RetrievalResult> out =
+      retrieve_batch_with_embeddings(queries, vecs);
+  // Attribute the shared embedding time evenly across the batch.
+  const double share = embed_total / static_cast<double>(queries.size());
+  for (RetrievalResult& r : out) r.embed_seconds = share;
+  return out;
+}
+
+std::vector<RetrievalResult> Retriever::retrieve_batch_with_embeddings(
+    const std::vector<std::string>& queries,
+    const std::vector<embed::Vector>& vecs) const {
+  std::vector<RetrievalResult> out(queries.size());
+  if (queries.empty()) return out;
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  metrics.counter(obs::kRetrieveRequestsTotal).inc(queries.size());
+
+  // One amortized scan for the whole batch.
+  pkb::util::Stopwatch watch;
+  std::vector<std::vector<vectordb::SearchResult>> all_hits;
+  {
+    obs::Span span(obs::global_tracer(), obs::kSpanVectorSearchBatch);
+    span.set_attr("queries", queries.size());
+    span.set_attr("k", opts_.first_pass_k);
+    all_hits = db_.store().similarity_search_batch(vecs, opts_.first_pass_k);
+  }
+  const double search_total = watch.seconds();
+
+  // Per-query completion: keyword augmentation + rerank. The shared scan
+  // time is attributed evenly across the batch so per-query rag_seconds
+  // still sums to the batch's true stage cost.
+  const double n = static_cast<double>(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    obs::Span span(obs::global_tracer(), obs::kSpanRetrieve);
+    span.set_attr("k", opts_.first_pass_k);
+    span.set_attr("l", opts_.final_l);
+    out[i].search_seconds = search_total / n;
+    assemble_from_hits(queries[i], all_hits[i], out[i]);
+    span.set_attr("candidates", out[i].first_pass.size());
+    span.set_attr("kept", out[i].contexts.size());
+    observe_stage_metrics(metrics, out[i]);
+  }
+  return out;
 }
 
 }  // namespace pkb::rag

@@ -47,17 +47,48 @@ struct RetrievalResult {
   }
 };
 
-/// Bound to a database; owns its reranker.
+/// Bound to a database; owns its reranker. All retrieval entry points are
+/// const and safe to call concurrently from many threads: the database is
+/// immutable after build and the reranker's rerank() is const.
 class Retriever {
  public:
   Retriever(const RagDatabase& db, RetrieverOptions opts = {});
 
   [[nodiscard]] RetrievalResult retrieve(std::string_view query) const;
 
+  /// As retrieve(), but with the query embedding supplied by the caller
+  /// (e.g. the serve layer's embedding memo cache). `query_vec` must equal
+  /// db().embedder().embed(query) for the result to match retrieve();
+  /// embed_seconds is reported as 0 (no embedding work happened here).
+  [[nodiscard]] RetrievalResult retrieve_with_embedding(
+      std::string_view query, const embed::Vector& query_vec) const;
+
+  /// Batched retrieval: embeds every query, runs one amortized
+  /// VectorStore::similarity_search_batch scan, then completes keyword
+  /// augmentation and reranking per query. Element i is identical in
+  /// content to retrieve(queries[i]).
+  [[nodiscard]] std::vector<RetrievalResult> retrieve_batch(
+      const std::vector<std::string>& queries) const;
+
+  /// Batched retrieval with caller-supplied query embeddings (the serve
+  /// layer's memo cache); `vecs` is parallel to `queries`. embed_seconds is
+  /// reported as 0.
+  [[nodiscard]] std::vector<RetrievalResult> retrieve_batch_with_embeddings(
+      const std::vector<std::string>& queries,
+      const std::vector<embed::Vector>& vecs) const;
+
   [[nodiscard]] const RetrieverOptions& options() const { return opts_; }
   [[nodiscard]] bool reranking_enabled() const { return reranker_ != nullptr; }
+  [[nodiscard]] const RagDatabase& db() const { return db_; }
 
  private:
+  /// Stages 2..4 of retrieval: keyword augmentation, provenance metrics,
+  /// reranking. `vector_hits` are the first-pass hits for `query`;
+  /// `result` carries the embed timing already accounted by the caller.
+  void assemble_from_hits(std::string_view query,
+                          const std::vector<vectordb::SearchResult>& vector_hits,
+                          RetrievalResult& result) const;
+
   const RagDatabase& db_;
   RetrieverOptions opts_;
   std::unique_ptr<rerank::Reranker> reranker_;

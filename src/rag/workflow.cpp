@@ -58,11 +58,44 @@ WorkflowOutcome AugmentedWorkflow::ask(std::string_view question) const {
   span.set_attr("model", llm_.config().name);
 
   WorkflowOutcome outcome;
+  if (retriever_ != nullptr) {
+    outcome.retrieval = retriever_->retrieve(question);
+  }
+  outcome = finish(question, std::move(outcome));
+  obs::global_metrics()
+      .histogram(obs::kWorkflowAskSeconds, {{"arm", arm_name}})
+      .observe(ask_watch.seconds());
+  return outcome;
+}
 
+WorkflowOutcome AugmentedWorkflow::ask_with_retrieval(
+    std::string_view question, RetrievalResult retrieval) const {
+  const std::string arm_name(to_string(arm_));
+  obs::global_metrics()
+      .counter(obs::kWorkflowRequestsTotal, {{"arm", arm_name}})
+      .inc();
+  pkb::util::Stopwatch ask_watch;
+  obs::Span span(obs::global_tracer(), obs::kSpanAsk);
+  span.set_attr("arm", arm_name);
+  span.set_attr("model", llm_.config().name);
+  span.set_attr("precomputed_retrieval", true);
+
+  WorkflowOutcome outcome;
+  if (retriever_ != nullptr) {
+    outcome.retrieval = std::move(retrieval);
+  }
+  outcome = finish(question, std::move(outcome));
+  obs::global_metrics()
+      .histogram(obs::kWorkflowAskSeconds, {{"arm", arm_name}})
+      .observe(ask_watch.seconds());
+  return outcome;
+}
+
+WorkflowOutcome AugmentedWorkflow::finish(std::string_view question,
+                                          WorkflowOutcome outcome) const {
   llm::LlmRequest request;
   request.question = std::string(question);
   if (retriever_ != nullptr) {
-    outcome.retrieval = retriever_->retrieve(question);
     for (const RetrievedContext& ctx : outcome.retrieval.contexts) {
       request.contexts.push_back(
           llm::ContextDoc{ctx.doc->id, std::string(ctx.doc->meta("title")),
@@ -126,9 +159,6 @@ WorkflowOutcome AugmentedWorkflow::ask(std::string_view question) const {
                       outcome.response.latency_seconds);
     }
   }
-  obs::global_metrics()
-      .histogram(obs::kWorkflowAskSeconds, {{"arm", arm_name}})
-      .observe(ask_watch.seconds());
   return outcome;
 }
 

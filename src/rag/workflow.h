@@ -34,8 +34,18 @@ struct WorkflowOutcome {
   std::uint64_t history_id = 0;     ///< record id when history is attached
 };
 
+/// Anything that can answer one question end to end: the workflow itself,
+/// or a front end wrapped around it (serve::Server). Consumers like the
+/// chat bot depend on this interface so they can be pointed at either.
+class QuestionService {
+ public:
+  virtual ~QuestionService() = default;
+  [[nodiscard]] virtual WorkflowOutcome answer(
+      std::string_view question) const = 0;
+};
+
 /// One arm of the workflow: a retriever (or none) plus a model.
-class AugmentedWorkflow {
+class AugmentedWorkflow : public QuestionService {
  public:
   /// `arm` selects retrieval behaviour; `retriever_opts.reranker` is
   /// overridden to "" for the Rag arm and kept for RagRerank.
@@ -57,11 +67,31 @@ class AugmentedWorkflow {
   /// Run one question end to end.
   [[nodiscard]] WorkflowOutcome ask(std::string_view question) const;
 
+  /// As ask(), but the retrieval stage was already computed by the caller
+  /// (the serve layer's memoized/batched paths). Supplying exactly
+  /// retriever()->retrieve(question) yields the same outcome content as
+  /// ask(question). For the Baseline arm the retrieval is ignored.
+  [[nodiscard]] WorkflowOutcome ask_with_retrieval(
+      std::string_view question, RetrievalResult retrieval) const;
+
+  /// QuestionService: answer == ask. ask() is const and the database is
+  /// immutable, so concurrent calls are safe (the history store, when
+  /// attached, serializes its own appends).
+  [[nodiscard]] WorkflowOutcome answer(
+      std::string_view question) const override {
+    return ask(question);
+  }
+
   [[nodiscard]] PipelineArm arm() const { return arm_; }
   [[nodiscard]] const llm::LlmConfig& model() const { return llm_.config(); }
   [[nodiscard]] const Retriever* retriever() const { return retriever_.get(); }
 
  private:
+  /// Boxes 2-4 plus history recording, shared by ask() and
+  /// ask_with_retrieval(): `outcome.retrieval` is already populated.
+  [[nodiscard]] WorkflowOutcome finish(std::string_view question,
+                                       WorkflowOutcome outcome) const;
+
   const RagDatabase& db_;
   PipelineArm arm_;
   llm::SimLlm llm_;

@@ -1,0 +1,305 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/clock.h"
+
+namespace pkb::serve {
+
+Server::Server(const rag::AugmentedWorkflow& workflow, ServerOptions opts)
+    : workflow_(workflow),
+      opts_(std::move(opts)),
+      queue_(opts_.queue_capacity),
+      answer_cache_(LruCacheOptions{opts_.answer_cache_capacity,
+                                    opts_.cache_shards,
+                                    opts_.answer_ttl_seconds,
+                                    opts_.cache_clock}),
+      embedding_cache_(LruCacheOptions{opts_.embedding_cache_capacity,
+                                       opts_.cache_shards,
+                                       /*ttl_seconds=*/0.0,
+                                       opts_.cache_clock}) {
+  if (opts_.workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    opts_.workers = hw == 0 ? 1 : hw;
+  }
+  obs::global_metrics()
+      .gauge(obs::kServeWorkers)
+      .set(static_cast<double>(opts_.workers));
+  workers_.reserve(opts_.workers);
+  for (std::size_t i = 0; i < opts_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() { stop(); }
+
+void Server::stop() {
+  if (stopped_.exchange(true)) return;
+  queue_.close();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  publish_queue_gauges();
+}
+
+void Server::publish_queue_gauges() {
+  obs::global_metrics()
+      .gauge(obs::kServeQueueDepth)
+      .set(static_cast<double>(queue_.size()));
+}
+
+std::future<rag::WorkflowOutcome> Server::submit(std::string question) {
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  metrics.counter(obs::kServeRequestsTotal, {{"source", "single"}}).inc();
+
+  std::promise<rag::WorkflowOutcome> promise;
+  std::future<rag::WorkflowOutcome> future = promise.get_future();
+
+  // Fast path: answer already cached — resolve on the caller's thread
+  // without touching the queue.
+  if (std::optional<rag::WorkflowOutcome> hit = answer_cache_.get(question)) {
+    metrics.counter(obs::kServeAnswerCacheHitsTotal).inc();
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    promise.set_value(std::move(*hit));
+    return future;
+  }
+
+  Request req;
+  req.question = std::move(question);
+  req.promise = std::move(promise);
+  req.enqueue_seconds = steady_seconds();
+  if (!queue_.push(std::move(req))) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    metrics.counter(obs::kServeRejectedTotal).inc();
+    // req was not consumed by the closed queue; fail its promise.
+    std::promise<rag::WorkflowOutcome> failed;
+    future = failed.get_future();
+    failed.set_exception(std::make_exception_ptr(
+        std::runtime_error("serve::Server is stopped")));
+    return future;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  publish_queue_gauges();
+  return future;
+}
+
+rag::WorkflowOutcome Server::ask(std::string question) {
+  return submit(std::move(question)).get();
+}
+
+rag::WorkflowOutcome Server::answer(std::string_view question) const {
+  // All mutable state is internally synchronized; the const interface
+  // mirrors AugmentedWorkflow::answer for QuestionService consumers.
+  return const_cast<Server*>(this)->ask(std::string(question));
+}
+
+std::vector<rag::WorkflowOutcome> Server::ask_batch(
+    const std::vector<std::string>& questions) {
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  metrics.counter(obs::kServeBatchesTotal).inc();
+  metrics.counter(obs::kServeRequestsTotal, {{"source", "batch"}})
+      .inc(questions.size());
+
+  std::vector<rag::WorkflowOutcome> out(questions.size());
+  if (questions.empty()) return out;
+
+  obs::Span span(obs::global_tracer(), obs::kSpanServeBatch);
+  span.set_attr("questions", questions.size());
+
+  // Partition: cache hits resolve immediately; the rest are deduplicated so
+  // each unique question is retrieved and answered once.
+  std::vector<std::size_t> unique_slots;   // first slot per unique question
+  std::unordered_map<std::string_view, std::size_t> first_of;
+  std::vector<std::size_t> dup_of(questions.size(), SIZE_MAX);
+  std::size_t cache_hits = 0;
+  for (std::size_t i = 0; i < questions.size(); ++i) {
+    auto it = first_of.find(std::string_view(questions[i]));
+    if (it != first_of.end()) {
+      dup_of[i] = it->second;
+      continue;
+    }
+    if (std::optional<rag::WorkflowOutcome> hit =
+            answer_cache_.get(questions[i])) {
+      metrics.counter(obs::kServeAnswerCacheHitsTotal).inc();
+      out[i] = std::move(*hit);
+      dup_of[i] = i;  // duplicates of i copy from out[i]
+      first_of.emplace(std::string_view(questions[i]), i);
+      ++cache_hits;
+      continue;
+    }
+    first_of.emplace(std::string_view(questions[i]), i);
+    unique_slots.push_back(i);
+  }
+  span.set_attr("cache_hits", cache_hits);
+  span.set_attr("unique_misses", unique_slots.size());
+  submitted_.fetch_add(questions.size(), std::memory_order_relaxed);
+
+  // One amortized vector scan for every uncached unique question (Baseline
+  // arm has no retriever — workers run the plain pipeline instead).
+  const rag::Retriever* retriever = workflow_.retriever();
+  std::vector<std::future<rag::WorkflowOutcome>> futures;
+  futures.reserve(unique_slots.size());
+  if (retriever != nullptr && !unique_slots.empty()) {
+    std::vector<std::string> unique_questions;
+    unique_questions.reserve(unique_slots.size());
+    for (std::size_t slot : unique_slots) {
+      unique_questions.push_back(questions[slot]);
+    }
+    std::vector<embed::Vector> vecs(unique_questions.size());
+    for (std::size_t i = 0; i < unique_questions.size(); ++i) {
+      if (std::optional<embed::Vector> hit =
+              embedding_cache_.get(unique_questions[i])) {
+        metrics.counter(obs::kServeEmbedCacheHitsTotal).inc();
+        vecs[i] = std::move(*hit);
+        continue;
+      }
+      metrics.counter(obs::kServeEmbedCacheMissesTotal).inc();
+      vecs[i] = retriever->db().embedder().embed(unique_questions[i]);
+      embedding_cache_.put(unique_questions[i], vecs[i]);
+    }
+    std::vector<rag::RetrievalResult> retrievals =
+        retriever->retrieve_batch_with_embeddings(unique_questions, vecs);
+    for (std::size_t i = 0; i < unique_slots.size(); ++i) {
+      Request req;
+      req.question = unique_questions[i];
+      req.retrieval = std::make_unique<rag::RetrievalResult>(
+          std::move(retrievals[i]));
+      std::promise<rag::WorkflowOutcome> promise;
+      futures.push_back(promise.get_future());
+      req.promise = std::move(promise);
+      req.enqueue_seconds = steady_seconds();
+      if (!queue_.push(std::move(req))) reject();
+    }
+  } else {
+    for (std::size_t slot : unique_slots) {
+      Request req;
+      req.question = questions[slot];
+      std::promise<rag::WorkflowOutcome> promise;
+      futures.push_back(promise.get_future());
+      req.promise = std::move(promise);
+      req.enqueue_seconds = steady_seconds();
+      if (!queue_.push(std::move(req))) reject();
+    }
+  }
+  publish_queue_gauges();
+
+  for (std::size_t i = 0; i < unique_slots.size(); ++i) {
+    out[unique_slots[i]] = futures[i].get();
+  }
+  // Fill duplicate slots from their representative.
+  for (std::size_t i = 0; i < questions.size(); ++i) {
+    if (dup_of[i] != SIZE_MAX && dup_of[i] != i) out[i] = out[dup_of[i]];
+  }
+  return out;
+}
+
+void Server::reject() {
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  obs::global_metrics().counter(obs::kServeRejectedTotal).inc();
+  throw std::runtime_error("serve::Server is stopped");
+}
+
+void Server::worker_loop() {
+  while (std::optional<Request> req = queue_.pop()) {
+    process(*req);
+  }
+}
+
+void Server::process(Request& req) {
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  const double start = steady_seconds();
+  metrics.histogram(obs::kServeQueueWaitSeconds)
+      .observe(start - req.enqueue_seconds);
+  metrics.gauge(obs::kServeInflight).add(1.0);
+  publish_queue_gauges();
+
+  obs::Span span(obs::global_tracer(), obs::kSpanServeRequest);
+  span.set_attr("batched", req.retrieval != nullptr);
+  try {
+    // Re-check the cache: an identical question may have been answered
+    // between submit() and now (duplicate suppression under concurrency).
+    rag::WorkflowOutcome outcome;
+    if (std::optional<rag::WorkflowOutcome> hit =
+            answer_cache_.get(req.question)) {
+      metrics.counter(obs::kServeAnswerCacheHitsTotal).inc();
+      span.set_attr("cache", "hit");
+      outcome = std::move(*hit);
+    } else {
+      metrics.counter(obs::kServeAnswerCacheMissesTotal).inc();
+      span.set_attr("cache", "miss");
+      outcome = run_pipeline(req.question, std::move(req.retrieval));
+      const std::size_t evicted =
+          answer_cache_.put(req.question, outcome);
+      if (evicted > 0) {
+        metrics.counter(obs::kServeCacheEvictionsTotal).inc(evicted);
+      }
+    }
+    req.promise.set_value(std::move(outcome));
+  } catch (...) {
+    req.promise.set_exception(std::current_exception());
+  }
+
+  metrics.gauge(obs::kServeInflight).add(-1.0);
+  metrics.histogram(obs::kServeRequestSeconds)
+      .observe(steady_seconds() - req.enqueue_seconds);
+}
+
+rag::WorkflowOutcome Server::run_pipeline(
+    const std::string& question,
+    std::unique_ptr<rag::RetrievalResult> retrieval) {
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  pkb::util::Stopwatch watch;
+
+  rag::WorkflowOutcome outcome;
+  const rag::Retriever* retriever = workflow_.retriever();
+  if (retrieval != nullptr) {
+    outcome = workflow_.ask_with_retrieval(question, std::move(*retrieval));
+  } else if (retriever != nullptr) {
+    // Single path: memoize the query embedding, then retrieve with it.
+    embed::Vector vec;
+    if (std::optional<embed::Vector> hit = embedding_cache_.get(question)) {
+      metrics.counter(obs::kServeEmbedCacheHitsTotal).inc();
+      vec = std::move(*hit);
+    } else {
+      metrics.counter(obs::kServeEmbedCacheMissesTotal).inc();
+      vec = retriever->db().embedder().embed(question);
+      embedding_cache_.put(question, vec);
+    }
+    outcome = workflow_.ask_with_retrieval(
+        question, retriever->retrieve_with_embedding(question, vec));
+  } else {
+    outcome = workflow_.ask(question);  // Baseline arm: no retrieval stage
+  }
+  computed_.fetch_add(1, std::memory_order_relaxed);
+
+  // Realize a slice of the simulated LLM latency as real wall time so that
+  // multi-worker overlap (and cache hits skipping this stall) are
+  // measurable — see ServerOptions::llm_latency_scale.
+  if (opts_.llm_latency_scale > 0.0 &&
+      outcome.response.latency_seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        outcome.response.latency_seconds * opts_.llm_latency_scale));
+  }
+
+  metrics.histogram(obs::kServePipelineSeconds).observe(watch.seconds());
+  return outcome;
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.computed = computed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.answer_cache = answer_cache_.stats();
+  s.embedding_cache = embedding_cache_.stats();
+  s.queue_depth = queue_.size();
+  s.workers = workers_.size();
+  return s;
+}
+
+}  // namespace pkb::serve

@@ -1,0 +1,149 @@
+#pragma once
+// Concurrent query-serving front end over the Fig-3 workflow — the
+// production shape of the paper's one-question-at-a-time Discord deployment
+// (§III-E): a bounded MPMC request queue with backpressure feeding N worker
+// threads that each run the full retrieve → rerank → LLM → postprocess
+// pipeline against the shared read-only RagDatabase.
+//
+// Two caches short-circuit repeated traffic:
+//  * answer cache   — question → WorkflowOutcome (sharded LRU, TTL +
+//    capacity eviction): an exact repeat skips the whole pipeline;
+//  * embedding memo — question → query embedding: a repeat that misses the
+//    answer cache (e.g. expired TTL) still skips the embed stage.
+//
+// ask_batch() additionally amortizes the vector scan: all uncached
+// questions in a batch share one VectorStore::similarity_search_batch pass,
+// then fan out across the workers for the per-question stages.
+//
+// Results are deterministic: cached, batched, and uncached answers carry
+// the same content a serial AugmentedWorkflow::ask() would produce (only
+// wall-clock timing fields and history ids differ — cache hits do not
+// re-append to history).
+//
+// Everything is observable under the pkb_serve_* metric namespace and the
+// serve_request / serve_batch spans (docs/OBSERVABILITY.md).
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rag/workflow.h"
+#include "serve/bounded_queue.h"
+#include "serve/lru_cache.h"
+
+namespace pkb::serve {
+
+struct ServerOptions {
+  /// Worker threads running the pipeline. 0 means one per hardware thread.
+  std::size_t workers = 4;
+  /// Bounded request-queue capacity; full queue blocks submitters
+  /// (backpressure).
+  std::size_t queue_capacity = 64;
+
+  /// Total answer-cache entries across shards; 0 disables the cache.
+  std::size_t answer_cache_capacity = 256;
+  /// Lock shards for both caches.
+  std::size_t cache_shards = 8;
+  /// Answer TTL in seconds; 0 = entries never expire.
+  double answer_ttl_seconds = 0.0;
+  /// Total embedding-memo entries; 0 disables the memo.
+  std::size_t embedding_cache_capacity = 512;
+
+  /// When > 0, each uncached answer's *simulated* LLM latency is realized
+  /// as real wait time scaled by this factor (e.g. 0.005 turns a 9.6 s
+  /// simulated response into a 48 ms stall). In deployment the LLM call is
+  /// network I/O that concurrent workers overlap; this knob makes the
+  /// simulated serving pipeline exhibit the same behaviour so throughput
+  /// benches measure something real. 0 (default) = off.
+  double llm_latency_scale = 0.0;
+
+  /// Test hook: time source for cache TTLs (defaults to steady_seconds).
+  CacheClock cache_clock;
+};
+
+/// Multi-worker serving layer. Construct, submit()/ask()/ask_batch() from
+/// any number of client threads, stop() (or destroy) to shut down
+/// gracefully — queued requests are drained first.
+class Server final : public rag::QuestionService {
+ public:
+  /// The workflow (and everything it references) must outlive the server.
+  explicit Server(const rag::AugmentedWorkflow& workflow,
+                  ServerOptions opts = {});
+  ~Server() override;
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueue one question; blocks only while the queue is full. The future
+  /// resolves to the outcome (or to std::runtime_error after stop()).
+  [[nodiscard]] std::future<rag::WorkflowOutcome> submit(std::string question);
+
+  /// Blocking convenience: submit and wait.
+  [[nodiscard]] rag::WorkflowOutcome ask(std::string question);
+
+  /// QuestionService entry (the chat bot's hook): all internal mutation is
+  /// synchronized, so the const interface is honest to share.
+  [[nodiscard]] rag::WorkflowOutcome answer(
+      std::string_view question) const override;
+
+  /// Batch submission: answers come back in input order. Uncached questions
+  /// share one batched vector scan, then complete concurrently on the
+  /// workers. Duplicate questions within the batch are computed once.
+  [[nodiscard]] std::vector<rag::WorkflowOutcome> ask_batch(
+      const std::vector<std::string>& questions);
+
+  /// Graceful shutdown: stop accepting, drain the queue, join the workers.
+  /// Idempotent; called by the destructor.
+  void stop();
+
+  /// Point-in-time serving statistics.
+  struct Stats {
+    std::uint64_t submitted = 0;       ///< requests accepted (single + batch)
+    std::uint64_t computed = 0;        ///< full pipeline executions
+    std::uint64_t rejected = 0;        ///< submissions after stop()
+    CacheStats answer_cache;
+    CacheStats embedding_cache;
+    std::size_t queue_depth = 0;
+    std::size_t workers = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] const ServerOptions& options() const { return opts_; }
+
+ private:
+  struct Request {
+    std::string question;
+    std::promise<rag::WorkflowOutcome> promise;
+    double enqueue_seconds = 0.0;  ///< steady_seconds() at submit time
+    /// Retrieval precomputed by the batched path; null on the single path.
+    std::unique_ptr<rag::RetrievalResult> retrieval;
+  };
+
+  /// Account a post-stop submission and throw.
+  [[noreturn]] void reject();
+  void worker_loop();
+  void process(Request& req);
+  /// Run the full pipeline for a cache miss (embedding memo + retrieval +
+  /// LLM + postprocess + optional latency realization).
+  [[nodiscard]] rag::WorkflowOutcome run_pipeline(
+      const std::string& question,
+      std::unique_ptr<rag::RetrievalResult> retrieval);
+  void publish_queue_gauges();
+
+  const rag::AugmentedWorkflow& workflow_;
+  ServerOptions opts_;
+  BoundedQueue<Request> queue_;
+  ShardedLruCache<std::string, rag::WorkflowOutcome> answer_cache_;
+  ShardedLruCache<std::string, embed::Vector> embedding_cache_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> computed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace pkb::serve

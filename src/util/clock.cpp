@@ -10,14 +10,23 @@ void SimClock::advance(double seconds) {
   if (seconds < 0.0) {
     throw std::invalid_argument("SimClock::advance: negative duration");
   }
-  now_ += seconds;
+  // CAS loop: fetch_add on atomic<double> needs libstdc++ opt-in; this is
+  // equivalent and portable.
+  double cur = now_.load(std::memory_order_relaxed);
+  while (!now_.compare_exchange_weak(cur, cur + seconds,
+                                     std::memory_order_relaxed)) {
+  }
 }
 
 void SimClock::advance_to(double abs_seconds) {
-  if (abs_seconds > now_) now_ = abs_seconds;
+  double cur = now_.load(std::memory_order_relaxed);
+  while (cur < abs_seconds &&
+         !now_.compare_exchange_weak(cur, abs_seconds,
+                                     std::memory_order_relaxed)) {
+  }
 }
 
-std::string SimClock::timestamp() const { return format(now_); }
+std::string SimClock::timestamp() const { return format(now()); }
 
 std::string SimClock::format(double abs_seconds) {
   const double s = std::max(0.0, abs_seconds);

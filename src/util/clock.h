@@ -9,6 +9,7 @@
 //    every 5 minutes" cost nothing at test time yet produce faithful
 //    timestamps and latency accounting.
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -38,14 +39,22 @@ class Stopwatch {
 };
 
 /// Virtual simulation clock. Time only moves when advanced explicitly.
-/// Epoch is an arbitrary "simulation day zero".
+/// Epoch is an arbitrary "simulation day zero". Thread-safe: advances are
+/// atomic read-modify-writes, so concurrent serving workers sharing one
+/// clock never lose time (the clock is always held by pointer/reference;
+/// it is not copyable).
 class SimClock {
  public:
   SimClock() = default;
   explicit SimClock(double start_seconds) : now_(start_seconds) {}
 
+  SimClock(const SimClock&) = delete;
+  SimClock& operator=(const SimClock&) = delete;
+
   /// Current simulated time in seconds since the simulation epoch.
-  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] double now() const {
+    return now_.load(std::memory_order_relaxed);
+  }
 
   /// Advance by `seconds` (must be >= 0).
   void advance(double seconds);
@@ -60,7 +69,7 @@ class SimClock {
   [[nodiscard]] static std::string format(double abs_seconds);
 
  private:
-  double now_ = 0.0;
+  std::atomic<double> now_{0.0};
 };
 
 }  // namespace pkb::util

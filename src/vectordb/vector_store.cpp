@@ -49,26 +49,9 @@ const embed::Vector& VectorStore::vec(std::size_t i) const {
   return vecs_.at(i);
 }
 
-std::vector<SearchResult> VectorStore::similarity_search(
-    const embed::Vector& query, std::size_t k,
+std::vector<SearchResult> VectorStore::select_top_k(
+    const std::vector<float>& scores, std::size_t k,
     const MetadataFilter* filter) const {
-  if (k == 0 || docs_.empty()) return {};
-  if (query.size() != dim_) {
-    throw std::invalid_argument("similarity_search: dimension mismatch");
-  }
-  obs::MetricsRegistry& metrics = obs::global_metrics();
-  metrics.counter(obs::kVectordbSearchesTotal).inc();
-  pkb::util::Stopwatch watch;
-  embed::Vector q = query;
-  embed::l2_normalize(q);
-
-  // Score in parallel, then select top-k with a partial sort.
-  std::vector<float> scores(docs_.size());
-  pkb::util::parallel_for(
-      0, docs_.size(),
-      [&](std::size_t i) { scores[i] = embed::dot(q, vecs_[i]); },
-      /*min_block=*/256);
-
   std::vector<std::size_t> order;
   order.reserve(docs_.size());
   for (std::size_t i = 0; i < docs_.size(); ++i) {
@@ -90,7 +73,73 @@ std::vector<SearchResult> VectorStore::similarity_search(
   for (std::size_t i : order) {
     out.push_back(SearchResult{i, scores[i], &docs_[i]});
   }
+  return out;
+}
+
+std::vector<SearchResult> VectorStore::similarity_search(
+    const embed::Vector& query, std::size_t k,
+    const MetadataFilter* filter) const {
+  if (k == 0 || docs_.empty()) return {};
+  if (query.size() != dim_) {
+    throw std::invalid_argument("similarity_search: dimension mismatch");
+  }
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  metrics.counter(obs::kVectordbSearchesTotal).inc();
+  pkb::util::Stopwatch watch;
+  embed::Vector q = query;
+  embed::l2_normalize(q);
+
+  // Score in parallel, then select top-k with a partial sort.
+  std::vector<float> scores(docs_.size());
+  pkb::util::parallel_for(
+      0, docs_.size(),
+      [&](std::size_t i) { scores[i] = embed::dot(q, vecs_[i]); },
+      /*min_block=*/256);
+
+  std::vector<SearchResult> out = select_top_k(scores, k, filter);
   metrics.histogram(obs::kVectordbSearchSeconds).observe(watch.seconds());
+  return out;
+}
+
+std::vector<std::vector<SearchResult>> VectorStore::similarity_search_batch(
+    const std::vector<embed::Vector>& queries, std::size_t k,
+    const MetadataFilter* filter) const {
+  std::vector<std::vector<SearchResult>> out(queries.size());
+  if (queries.empty()) return out;
+  if (k == 0 || docs_.empty()) return out;
+  for (const embed::Vector& q : queries) {
+    if (q.size() != dim_) {
+      throw std::invalid_argument("similarity_search_batch: dimension mismatch");
+    }
+  }
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  metrics.counter(obs::kVectordbBatchSearchesTotal).inc();
+  metrics.counter(obs::kVectordbBatchQueriesTotal).inc(queries.size());
+  pkb::util::Stopwatch watch;
+
+  std::vector<embed::Vector> qs = queries;
+  for (embed::Vector& q : qs) embed::l2_normalize(q);
+
+  // One blocked pass over the stored vectors: each block of documents is
+  // loaded once and scored against every query, so memory traffic is
+  // amortized across the batch instead of repeated per query. dot(q, v) is
+  // the exact expression the single search evaluates, so the score matrix
+  // (and therefore the selection) is bit-identical to per-query scans.
+  std::vector<std::vector<float>> scores(qs.size());
+  for (auto& row : scores) row.resize(docs_.size());
+  pkb::util::parallel_for(
+      0, docs_.size(),
+      [&](std::size_t i) {
+        for (std::size_t qi = 0; qi < qs.size(); ++qi) {
+          scores[qi][i] = embed::dot(qs[qi], vecs_[i]);
+        }
+      },
+      /*min_block=*/64);
+
+  for (std::size_t qi = 0; qi < qs.size(); ++qi) {
+    out[qi] = select_top_k(scores[qi], k, filter);
+  }
+  metrics.histogram(obs::kVectordbBatchSearchSeconds).observe(watch.seconds());
   return out;
 }
 

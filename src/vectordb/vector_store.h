@@ -58,6 +58,15 @@ class VectorStore {
       const embed::Vector& query, std::size_t k,
       const MetadataFilter* filter = nullptr) const;
 
+  /// Batched exact top-k: one amortized pass over the stored vectors scores
+  /// every query (the store's memory is read once per block instead of once
+  /// per query). Returns one result list per query, each identical to what
+  /// similarity_search would return for that query alone (same scores, same
+  /// lower-index tie-break).
+  [[nodiscard]] std::vector<std::vector<SearchResult>> similarity_search_batch(
+      const std::vector<embed::Vector>& queries, std::size_t k,
+      const MetadataFilter* filter = nullptr) const;
+
   /// Convenience: embed the query text with `embedder` then search.
   [[nodiscard]] std::vector<SearchResult> similarity_search_text(
       std::string_view query, std::size_t k,
@@ -75,6 +84,12 @@ class VectorStore {
   /// Insert without re-normalizing (used by load(): stored vectors are
   /// already unit norm, and renormalizing would drift the last bit).
   void add_raw(text::Document doc, embed::Vector vec);
+
+  /// Shared top-k selection over a precomputed score array — the single and
+  /// batched searches must agree bit-for-bit, so both call this.
+  [[nodiscard]] std::vector<SearchResult> select_top_k(
+      const std::vector<float>& scores, std::size_t k,
+      const MetadataFilter* filter) const;
 
   std::vector<text::Document> docs_;
   std::vector<embed::Vector> vecs_;

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <set>
+#include <thread>
+#include <vector>
 
 #include "history/store.h"
 
@@ -89,7 +92,7 @@ TEST(HistoryStore, JsonRoundTripPreservesEverything) {
   HistoryStore store;
   const auto id = store.add(make_record("round trip?", "rag+rerank"));
   store.record_score(id, {"alice", 3, "good"});
-  const HistoryStore loaded = HistoryStore::from_json(store.to_json());
+  HistoryStore loaded = HistoryStore::from_json(store.to_json());
   ASSERT_EQ(loaded.size(), 1u);
   const InteractionRecord* r = loaded.get(id);
   ASSERT_NE(r, nullptr);
@@ -101,8 +104,43 @@ TEST(HistoryStore, JsonRoundTripPreservesEverything) {
   EXPECT_EQ(r->scores[0].scorer, "alice");
   EXPECT_EQ(r->scores[0].score, 3);
   // Ids keep incrementing after reload.
-  HistoryStore mutable_loaded = loaded;
-  EXPECT_EQ(mutable_loaded.add(make_record("next", "rag")), id + 1);
+  EXPECT_EQ(loaded.add(make_record("next", "rag")), id + 1);
+}
+
+TEST(HistoryStore, ConcurrentAppendsAndReadsAreSafe) {
+  HistoryStore store;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::vector<std::uint64_t>> ids(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, &ids, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto id = store.add(
+            make_record("q" + std::to_string(t) + "-" + std::to_string(i),
+                        t % 2 == 0 ? "rag" : "rag+rerank"));
+        ids[t].push_back(id);
+        // Interleave reads with the appends: pointers stay valid because
+        // the store's backing deque never relocates records.
+        const InteractionRecord* r = store.get(id);
+        EXPECT_NE(r, nullptr);
+        (void)store.size();
+        (void)store.by_pipeline("rag").size();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Every id was assigned exactly once, densely from 1.
+  std::set<std::uint64_t> all;
+  for (const auto& per_thread : ids) {
+    all.insert(per_thread.begin(), per_thread.end());
+  }
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(*all.begin(), 1u);
+  EXPECT_EQ(*all.rbegin(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(store.size(), static_cast<std::size_t>(kThreads * kPerThread));
 }
 
 TEST(HistoryStore, FilePersistence) {

@@ -1,0 +1,404 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "corpus/questions.h"
+#include "rag/database.h"
+#include "rag/workflow.h"
+#include "serve/bounded_queue.h"
+#include "serve/lru_cache.h"
+#include "serve/server.h"
+
+namespace pkb::serve {
+namespace {
+
+// --- BoundedQueue ---------------------------------------------------------
+
+TEST(BoundedQueue, FifoOrderAndCapacity) {
+  BoundedQueue<int> q(3);
+  EXPECT_EQ(q.capacity(), 3u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_FALSE(q.try_push(4));  // full
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+}
+
+TEST(BoundedQueue, ZeroCapacityIsClampedToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.try_push(7));
+  EXPECT_FALSE(q.try_push(8));
+}
+
+TEST(BoundedQueue, CloseDrainsPendingThenSignalsShutdown) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(3));      // no new items after close
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.pop().value(), 1);  // pending items still drain
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());  // drained + closed -> shutdown
+}
+
+TEST(BoundedQueue, PushBlocksUntilRoomAndPopBlocksUntilItem) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.push(2));  // blocks: queue is full
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());  // still blocked on the full queue
+  EXPECT_EQ(q.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 2);
+
+  std::atomic<bool> popped{false};
+  std::thread consumer([&] {
+    EXPECT_EQ(q.pop().value(), 3);  // blocks: queue is empty
+    popped = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(popped.load());
+  ASSERT_TRUE(q.push(3));
+  consumer.join();
+  EXPECT_TRUE(popped.load());
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::thread producer([&] { EXPECT_FALSE(q.push(2)); });  // blocks: full
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  producer.join();
+  EXPECT_EQ(q.pop().value(), 1);  // the pre-close item still drains
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(1);
+  std::thread consumer([&] { EXPECT_FALSE(q.pop().has_value()); });  // empty
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumer.join();
+}
+
+// --- ShardedLruCache ------------------------------------------------------
+
+TEST(ShardedLruCache, EvictsLeastRecentlyUsedInOrder) {
+  LruCacheOptions opts;
+  opts.capacity = 3;
+  opts.shards = 1;  // single shard -> strict global LRU order
+  ShardedLruCache<std::string, int> cache(opts);
+  EXPECT_EQ(cache.put("a", 1), 0u);
+  EXPECT_EQ(cache.put("b", 2), 0u);
+  EXPECT_EQ(cache.put("c", 3), 0u);
+  EXPECT_EQ(cache.get("a").value(), 1);  // refresh a: b is now LRU
+  EXPECT_EQ(cache.put("d", 4), 1u);      // evicts b
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
+  EXPECT_TRUE(cache.get("d").has_value());
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ShardedLruCache, PutOverwritesWithoutEviction) {
+  LruCacheOptions opts;
+  opts.capacity = 2;
+  opts.shards = 1;
+  ShardedLruCache<std::string, int> cache(opts);
+  cache.put("a", 1);
+  EXPECT_EQ(cache.put("a", 10), 0u);  // overwrite, no eviction
+  EXPECT_EQ(cache.get("a").value(), 10);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ShardedLruCache, TtlExpiresEntriesLazily) {
+  double fake_now = 0.0;
+  LruCacheOptions opts;
+  opts.capacity = 8;
+  opts.shards = 1;
+  opts.ttl_seconds = 10.0;
+  opts.clock = [&fake_now] { return fake_now; };
+  ShardedLruCache<std::string, int> cache(opts);
+
+  cache.put("a", 1);
+  fake_now = 5.0;
+  EXPECT_EQ(cache.get("a").value(), 1);  // within TTL
+  fake_now = 15.1;                       // 15.1 - 0 > 10 from insertion...
+  cache.put("b", 2);                     // b stamped at 15.1
+  EXPECT_FALSE(cache.get("a").has_value());  // expired -> miss + eviction
+  EXPECT_EQ(cache.get("b").value(), 2);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  // put() refreshes the stamp: a re-inserted entry lives a fresh TTL.
+  cache.put("a", 3);
+  fake_now = 20.0;
+  EXPECT_EQ(cache.get("a").value(), 3);
+}
+
+TEST(ShardedLruCache, ZeroCapacityDisablesCaching) {
+  LruCacheOptions opts;
+  opts.capacity = 0;
+  ShardedLruCache<std::string, int> cache(opts);
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_EQ(cache.put("a", 1), 0u);
+  EXPECT_FALSE(cache.get("a").has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ShardedLruCache, ShardedCapacityAndStatsAggregation) {
+  LruCacheOptions opts;
+  opts.capacity = 16;
+  opts.shards = 4;
+  ShardedLruCache<std::string, int> cache(opts);
+  EXPECT_EQ(cache.shard_count(), 4u);
+  EXPECT_EQ(cache.per_shard_capacity(), 4u);
+  for (int i = 0; i < 100; ++i) {
+    cache.put("key-" + std::to_string(i), i);
+  }
+  // No shard exceeds its capacity.
+  EXPECT_LE(cache.size(), 16u);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, cache.size());
+  EXPECT_GE(stats.evictions, 100u - 16u);
+}
+
+// --- Server ---------------------------------------------------------------
+
+// The database build is the expensive part; share one across the suite.
+class ServeServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto tree = pkb::corpus::generate_corpus();
+    db_ = new rag::RagDatabase(rag::RagDatabase::build(tree));
+    workflow_ = new rag::AugmentedWorkflow(*db_, rag::PipelineArm::RagRerank,
+                                           llm::model_config("sim-gpt-4o"));
+  }
+  static std::vector<std::string> questions(std::size_t n) {
+    std::vector<std::string> qs;
+    const auto& bench = pkb::corpus::krylov_benchmark();
+    for (std::size_t i = 0; i < n; ++i) {
+      qs.push_back(bench[i % bench.size()].question);
+    }
+    return qs;
+  }
+  static void expect_same_content(const rag::WorkflowOutcome& a,
+                                  const rag::WorkflowOutcome& b,
+                                  const std::string& what) {
+    EXPECT_EQ(a.response.text, b.response.text) << what;
+    EXPECT_EQ(a.prompt, b.prompt) << what;
+    EXPECT_EQ(a.processed.html, b.processed.html) << what;
+    ASSERT_EQ(a.retrieval.contexts.size(), b.retrieval.contexts.size())
+        << what;
+    for (std::size_t i = 0; i < a.retrieval.contexts.size(); ++i) {
+      EXPECT_EQ(a.retrieval.contexts[i].doc->id,
+                b.retrieval.contexts[i].doc->id)
+          << what << " context " << i;
+    }
+  }
+  static rag::RagDatabase* db_;
+  static rag::AugmentedWorkflow* workflow_;
+};
+
+rag::RagDatabase* ServeServerTest::db_ = nullptr;
+rag::AugmentedWorkflow* ServeServerTest::workflow_ = nullptr;
+
+TEST_F(ServeServerTest, SingleAskMatchesSerialWorkflow) {
+  ServerOptions opts;
+  opts.workers = 2;
+  Server server(*workflow_, opts);
+  const std::string q = questions(1)[0];
+  const rag::WorkflowOutcome serial = workflow_->ask(q);
+  const rag::WorkflowOutcome served = server.ask(q);
+  expect_same_content(serial, served, "single ask");
+}
+
+TEST_F(ServeServerTest, CachedAnswerIsIdenticalAndSkipsPipeline) {
+  ServerOptions opts;
+  opts.workers = 2;
+  Server server(*workflow_, opts);
+  const std::string q = questions(1)[0];
+  const rag::WorkflowOutcome first = server.ask(q);
+  const rag::WorkflowOutcome second = server.ask(q);
+  expect_same_content(first, second, "cache hit");
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.computed, 1u);  // second answer came from the cache
+  EXPECT_GE(stats.answer_cache.hits, 1u);
+}
+
+TEST_F(ServeServerTest, ConcurrentClientsMatchSerialContent) {
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kQuestions = 10;  // repeats hit the answer cache
+  const std::vector<std::string> qs = questions(kQuestions);
+  std::vector<rag::WorkflowOutcome> serial;
+  serial.reserve(qs.size());
+  for (const std::string& q : qs) serial.push_back(workflow_->ask(q));
+
+  ServerOptions opts;
+  opts.workers = 4;
+  opts.queue_capacity = 8;  // smaller than the offered load: backpressure
+  Server server(*workflow_, opts);
+
+  std::vector<std::vector<rag::WorkflowOutcome>> got(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, &got, &qs, c] {
+      // Each client walks the questions from a different offset so the
+      // same question is in flight from several clients at once.
+      for (std::size_t i = 0; i < qs.size(); ++i) {
+        got[c].push_back(server.ask(qs[(i + c) % qs.size()]));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (std::size_t c = 0; c < kClients; ++c) {
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      expect_same_content(serial[(i + c) % qs.size()], got[c][i],
+                          "client " + std::to_string(c) + " q" +
+                              std::to_string(i));
+    }
+  }
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.submitted, kClients * kQuestions);
+  EXPECT_EQ(stats.rejected, 0u);
+  // At most one computation per unique question... plus any duplicates that
+  // raced past the submit-side cache check before the first answer landed.
+  EXPECT_GE(stats.computed, kQuestions / 2);
+  EXPECT_GE(stats.answer_cache.hits + stats.answer_cache.misses,
+            kClients * kQuestions - kQuestions);
+}
+
+TEST_F(ServeServerTest, AskBatchMatchesSerialAndDeduplicates) {
+  const std::vector<std::string> unique = questions(6);
+  std::vector<std::string> batch = unique;
+  batch.push_back(unique[0]);  // duplicates inside the batch
+  batch.push_back(unique[3]);
+
+  std::vector<rag::WorkflowOutcome> serial;
+  serial.reserve(unique.size());
+  for (const std::string& q : unique) serial.push_back(workflow_->ask(q));
+
+  ServerOptions opts;
+  opts.workers = 3;
+  Server server(*workflow_, opts);
+  const std::vector<rag::WorkflowOutcome> got = server.ask_batch(batch);
+  ASSERT_EQ(got.size(), batch.size());
+  for (std::size_t i = 0; i < unique.size(); ++i) {
+    expect_same_content(serial[i], got[i], "batch slot " + std::to_string(i));
+  }
+  expect_same_content(serial[0], got[6], "duplicate of slot 0");
+  expect_same_content(serial[3], got[7], "duplicate of slot 3");
+  // 8 submitted, 6 computed (2 duplicates answered once).
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.submitted, batch.size());
+  EXPECT_EQ(stats.computed, unique.size());
+}
+
+TEST_F(ServeServerTest, BatchAfterWarmupServesFromCache) {
+  const std::vector<std::string> qs = questions(5);
+  ServerOptions opts;
+  opts.workers = 2;
+  Server server(*workflow_, opts);
+  const std::vector<rag::WorkflowOutcome> cold = server.ask_batch(qs);
+  const std::uint64_t computed_after_cold = server.stats().computed;
+  const std::vector<rag::WorkflowOutcome> warm = server.ask_batch(qs);
+  EXPECT_EQ(server.stats().computed, computed_after_cold);  // all cached
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    expect_same_content(cold[i], warm[i], "warm slot " + std::to_string(i));
+  }
+}
+
+TEST_F(ServeServerTest, TtlExpiryForcesRecomputeWithSameContent) {
+  double fake_now = 0.0;
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.answer_ttl_seconds = 30.0;
+  opts.cache_clock = [&fake_now] { return fake_now; };
+  Server server(*workflow_, opts);
+  const std::string q = questions(1)[0];
+  const rag::WorkflowOutcome first = server.ask(q);
+  fake_now = 60.0;  // beyond the TTL
+  const rag::WorkflowOutcome second = server.ask(q);
+  expect_same_content(first, second, "post-TTL recompute");
+  EXPECT_EQ(server.stats().computed, 2u);
+  // The embedding memo has no TTL: the recompute reused the embedding.
+  EXPECT_GE(server.stats().embedding_cache.hits, 1u);
+}
+
+TEST_F(ServeServerTest, StopDrainsThenRejectsLateSubmissions) {
+  ServerOptions opts;
+  opts.workers = 2;
+  Server server(*workflow_, opts);
+  const std::vector<std::string> qs = questions(4);
+  std::vector<std::future<rag::WorkflowOutcome>> futures;
+  futures.reserve(qs.size());
+  for (const std::string& q : qs) futures.push_back(server.submit(q));
+  server.stop();
+  for (auto& f : futures) {
+    EXPECT_FALSE(f.get().response.text.empty());  // accepted work completed
+  }
+  auto late = server.submit("too late?");
+  EXPECT_THROW((void)late.get(), std::runtime_error);
+  // A batch of *uncached* questions must be rejected too (a batch of cached
+  // ones would legitimately be served from the cache without the queue).
+  EXPECT_THROW((void)server.ask_batch({"never seen A?", "never seen B?"}),
+               std::runtime_error);
+  EXPECT_GE(server.stats().rejected, 1u);
+  server.stop();  // idempotent
+}
+
+TEST_F(ServeServerTest, QuestionServiceInterfaceServesAnswers) {
+  ServerOptions opts;
+  opts.workers = 1;
+  Server server(*workflow_, opts);
+  const rag::QuestionService& service = server;
+  const std::string q = questions(1)[0];
+  expect_same_content(workflow_->ask(q), service.answer(q),
+                      "QuestionService::answer");
+}
+
+TEST_F(ServeServerTest, LlmLatencyScaleRealizesStallOnlyOnMisses) {
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.llm_latency_scale = 0.002;  // ~10-30 ms per uncached answer
+  Server server(*workflow_, opts);
+  const std::string q = questions(1)[0];
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const rag::WorkflowOutcome first = server.ask(q);
+  const auto miss_elapsed = std::chrono::steady_clock::now() - t0;
+
+  const auto t1 = std::chrono::steady_clock::now();
+  (void)server.ask(q);
+  const auto hit_elapsed = std::chrono::steady_clock::now() - t1;
+
+  const auto scaled = std::chrono::duration<double>(
+      first.response.latency_seconds * opts.llm_latency_scale);
+  EXPECT_GE(miss_elapsed, scaled);  // the stall really happened
+  EXPECT_LT(hit_elapsed, scaled);   // the cache hit skipped it
+}
+
+}  // namespace
+}  // namespace pkb::serve

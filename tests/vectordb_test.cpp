@@ -87,6 +87,50 @@ TEST(VectorStore, TopOneIsSelfForExactQuery) {
   }
 }
 
+TEST(VectorStore, BatchSearchMatchesSerialExactly) {
+  const VectorStore store = random_store(200, 16, 7);
+  pkb::util::Rng rng(11);
+  std::vector<Vector> queries;
+  for (std::size_t q = 0; q < 24; ++q) {
+    Vector v(16);
+    for (float& x : v) x = static_cast<float>(rng.normal());
+    queries.push_back(std::move(v));
+  }
+  const auto batched = store.similarity_search_batch(queries, 8);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto serial = store.similarity_search(queries[q], 8);
+    ASSERT_EQ(batched[q].size(), serial.size()) << "query " << q;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      // Bit-identical, including tie-breaks: same index, same score bits.
+      EXPECT_EQ(batched[q][i].index, serial[i].index) << "query " << q;
+      EXPECT_EQ(batched[q][i].score, serial[i].score) << "query " << q;
+      EXPECT_EQ(batched[q][i].doc, serial[i].doc) << "query " << q;
+    }
+  }
+}
+
+TEST(VectorStore, BatchSearchRespectsFilterAndValidatesDims) {
+  const VectorStore store = random_store(30, 8, 8);
+  const MetadataFilter filter = [](const text::Metadata& meta) {
+    auto it = meta.find("parity");
+    return it != meta.end() && it->second == "odd";
+  };
+  const std::vector<Vector> queries = {store.vec(0), store.vec(1)};
+  const auto batched = store.similarity_search_batch(queries, 5, &filter);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto serial = store.similarity_search(queries[q], 5, &filter);
+    ASSERT_EQ(batched[q].size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(batched[q][i].index, serial[i].index);
+      EXPECT_EQ(batched[q][i].doc->meta("parity"), "odd");
+    }
+  }
+  EXPECT_TRUE(store.similarity_search_batch({}, 5).empty());
+  EXPECT_THROW((void)store.similarity_search_batch({Vector(3, 1.0f)}, 2),
+               std::invalid_argument);
+}
+
 TEST(VectorStore, FindId) {
   const VectorStore store = random_store(5, 4, 5);
   EXPECT_EQ(store.find_id("doc-3").value(), 3u);
