@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# One entry point for the full local verification matrix:
+#
+#   1. plain build + ctest (tier-1, what CI runs)
+#   2. ThreadSanitizer over the concurrency-heavy suites (run_tsan.sh)
+#   3. AddressSanitizer over the full suite (run_asan.sh)
+#
+# Usage, from anywhere:  scripts/check_all.sh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+echo "== check_all: plain build + ctest =="
+cmake -B "$repo_root/build" -S "$repo_root"
+cmake --build "$repo_root/build" -j "$(nproc)"
+ctest --test-dir "$repo_root/build" --output-on-failure -j "$(nproc)"
+
+echo "== check_all: ThreadSanitizer =="
+"$repo_root/scripts/run_tsan.sh"
+
+echo "== check_all: AddressSanitizer =="
+"$repo_root/scripts/run_asan.sh"
+
+echo "check_all: OK"

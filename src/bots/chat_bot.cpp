@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "ingest/ingestor.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 
@@ -109,6 +110,15 @@ ButtonResult ChatBot::press_send(std::uint64_t draft_id,
   msg->tags["signed-by"] = std::string(developer);
   msg->tags["sent-at"] = server_->clock().timestamp();
   it->second.resolved = true;
+
+  // Developer approval is the vetting step: a sent answer is trusted
+  // knowledge, so feed the resolved thread back into the live KB (§II).
+  if (ingestor_ != nullptr) {
+    ingestor_->ingest_qa(
+        "resolved/thread-" + std::to_string(it->second.post_id) + ".md",
+        it->second.subject, it->second.question_context, body);
+    ++threads_ingested_;
+  }
   return ButtonResult::Ok;
 }
 

@@ -21,6 +21,10 @@
 #include "bots/platform.h"
 #include "rag/workflow.h"
 
+namespace pkb::ingest {
+class Ingestor;
+}
+
 namespace pkb::bots {
 
 /// Outcome of a button press.
@@ -68,6 +72,17 @@ class ChatBot {
   /// Number of emails this bot has sent to the list.
   [[nodiscard]] std::size_t emails_sent() const { return emails_sent_; }
 
+  /// Close the paper's curation loop: when an ingestor is attached, every
+  /// developer-approved send also ingests the resolved Q&A into the live
+  /// knowledge base (one new generation per send), so the next question can
+  /// retrieve this thread's answer. The ingestor must outlive the bot.
+  void attach_ingestor(ingest::Ingestor* ingestor) { ingestor_ = ingestor; }
+
+  /// Resolved threads ingested via the attached ingestor.
+  [[nodiscard]] std::size_t threads_ingested() const {
+    return threads_ingested_;
+  }
+
  private:
   struct DraftInfo {
     std::uint64_t post_id = 0;
@@ -88,6 +103,8 @@ class ChatBot {
   std::string bot_email_address_;
   std::map<std::uint64_t, DraftInfo> drafts_;  ///< draft message id -> info
   std::size_t emails_sent_ = 0;
+  ingest::Ingestor* ingestor_ = nullptr;
+  std::size_t threads_ingested_ = 0;
 };
 
 }  // namespace pkb::bots

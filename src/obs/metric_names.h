@@ -58,6 +58,15 @@ inline constexpr std::string_view kServeCacheEvictionsTotal =
     "pkb_serve_cache_evictions_total";
 inline constexpr std::string_view kServeRejectedTotal =
     "pkb_serve_rejected_total";
+inline constexpr std::string_view kServeCacheStaleTotal =
+    "pkb_serve_cache_stale_total";
+inline constexpr std::string_view kIngestBuildsTotal =
+    "pkb_ingest_builds_total";
+inline constexpr std::string_view kIngestDocsTotal = "pkb_ingest_docs_total";
+inline constexpr std::string_view kIngestChunksTotal =
+    "pkb_ingest_chunks_total";
+inline constexpr std::string_view kIngestRefitsTotal =
+    "pkb_ingest_refits_total";
 
 // --- gauges ---------------------------------------------------------------
 inline constexpr std::string_view kVectordbEntries = "pkb_vectordb_entries";
@@ -65,6 +74,8 @@ inline constexpr std::string_view kIvfClusters = "pkb_ivf_clusters";
 inline constexpr std::string_view kServeQueueDepth = "pkb_serve_queue_depth";
 inline constexpr std::string_view kServeWorkers = "pkb_serve_workers";
 inline constexpr std::string_view kServeInflight = "pkb_serve_inflight";
+inline constexpr std::string_view kKbGeneration = "pkb_kb_generation";
+inline constexpr std::string_view kKbChunks = "pkb_kb_chunks";
 
 // --- histograms (seconds) -------------------------------------------------
 inline constexpr std::string_view kWorkflowAskSeconds =
@@ -91,6 +102,9 @@ inline constexpr std::string_view kServeQueueWaitSeconds =
     "pkb_serve_queue_wait_seconds";
 inline constexpr std::string_view kServePipelineSeconds =
     "pkb_serve_pipeline_seconds";
+inline constexpr std::string_view kKbSwapSeconds = "pkb_kb_swap_seconds";
+inline constexpr std::string_view kIngestBuildSeconds =
+    "pkb_ingest_build_seconds";
 
 // --- span names -----------------------------------------------------------
 inline constexpr std::string_view kSpanAsk = "ask";
@@ -108,5 +122,7 @@ inline constexpr std::string_view kSpanServeRequest = "serve_request";
 inline constexpr std::string_view kSpanServeBatch = "serve_batch";
 inline constexpr std::string_view kSpanVectorSearchBatch =
     "vector_search_batch";
+inline constexpr std::string_view kSpanIngestBuild = "ingest_build";
+inline constexpr std::string_view kSpanKbSwap = "kb_swap";
 
 }  // namespace pkb::obs

@@ -1,61 +1,10 @@
 #pragma once
-// RAG database construction (§III-A, the generation phase of RAG):
-// corpus tree -> DirectoryLoader -> MarkdownLoader -> splitter -> embeddings
-// -> vector store (+ the keyword SymbolIndex of §III-C).
+// Compatibility shim. The immutable RagDatabase of §III-A grew into the
+// generational rag::KnowledgeBase (knowledge_base.h): the same bundle of
+// chunks + fitted embedder + vector store + symbol index, now one Snapshot
+// of an atomically swappable sequence so the ingest subsystem can publish
+// new generations while queries are in flight. `RagDatabase` and
+// `RagDatabaseOptions` are aliases kept for the many single-generation
+// call sites (benches, examples, tests).
 
-#include <memory>
-#include <string>
-
-#include "embed/embedder.h"
-#include "lexical/keyword_search.h"
-#include "text/loader.h"
-#include "text/splitter.h"
-#include "vectordb/vector_store.h"
-
-namespace pkb::rag {
-
-/// Database-build configuration.
-struct RagDatabaseOptions {
-  /// Embedding model registry name.
-  std::string embedder = "sim-embed-3-large";
-  /// Glob selecting corpus files.
-  std::string file_pattern = "**/*.md";
-  /// Chunking parameters (LangChain-style defaults scaled to manual pages).
-  text::SplitterOptions splitter = {.chunk_size = 700,
-                                    .chunk_overlap = 100,
-                                    .separators = {"\n\n", "\n", " ", ""},
-                                    .keep_separator = false};
-};
-
-/// The built retrieval substrate: chunked corpus + fitted embedder + vector
-/// store + symbol index. Immutable after build; shared by every pipeline arm
-/// that uses the same embedding model.
-class RagDatabase {
- public:
-  /// Build from an in-memory corpus tree.
-  static RagDatabase build(const text::VirtualDir& corpus,
-                           RagDatabaseOptions opts = {});
-
-  [[nodiscard]] const std::vector<text::Document>& chunks() const {
-    return chunks_;
-  }
-  [[nodiscard]] const vectordb::VectorStore& store() const { return store_; }
-  [[nodiscard]] const embed::Embedder& embedder() const { return *embedder_; }
-  [[nodiscard]] const lexical::SymbolIndex& symbols() const {
-    return *symbols_;
-  }
-  [[nodiscard]] const RagDatabaseOptions& options() const { return opts_; }
-
-  /// Number of source documents the corpus contributed.
-  [[nodiscard]] std::size_t source_count() const { return source_count_; }
-
- private:
-  RagDatabaseOptions opts_;
-  std::vector<text::Document> chunks_;
-  std::unique_ptr<embed::Embedder> embedder_;
-  vectordb::VectorStore store_;
-  std::unique_ptr<lexical::SymbolIndex> symbols_;
-  std::size_t source_count_ = 0;
-};
-
-}  // namespace pkb::rag
+#include "rag/knowledge_base.h"

@@ -1,0 +1,288 @@
+#include "rag/knowledge_base.h"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/binio.h"
+#include "util/clock.h"
+#include "util/log.h"
+
+namespace pkb::rag {
+
+namespace {
+
+void publish_kb_gauges(const Snapshot& snap) {
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  metrics.gauge(obs::kKbGeneration).set(static_cast<double>(snap.generation));
+  metrics.gauge(obs::kKbChunks).set(static_cast<double>(snap.chunks.size()));
+}
+
+}  // namespace
+
+KnowledgeBase KnowledgeBase::build(const text::VirtualDir& corpus,
+                                   KnowledgeBaseOptions opts) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->generation = 1;
+  snap->opts = std::move(opts);
+
+  const text::DirectoryLoader dir_loader(snap->opts.file_pattern);
+  const text::MarkdownLoader md_loader(text::MarkdownMode::Single,
+                                       /*drop_headings=*/true);
+  const std::vector<text::Document> docs =
+      md_loader.load(dir_loader.load(corpus));
+  snap->source_count = docs.size();
+
+  const text::RecursiveCharacterTextSplitter splitter(snap->opts.splitter);
+  snap->chunks = splitter.split_documents(docs);
+
+  std::unique_ptr<embed::Embedder> embedder =
+      embed::make_embedder(snap->opts.embedder);
+  embedder->fit(snap->chunks);
+  snap->store = vectordb::VectorStore::from_documents(snap->chunks, *embedder);
+  snap->embedder = std::move(embedder);
+  snap->symbols = std::make_shared<lexical::SymbolIndex>(snap->chunks);
+  snap->embedder_fit_generation = 1;
+  snap->chunks_at_fit = snap->chunks.size();
+
+  PKB_LOG(Info, "rag") << "knowledge base built: generation 1, "
+                       << snap->source_count << " documents, "
+                       << snap->chunks.size() << " chunks, embedder "
+                       << snap->embedder->name() << " (dim "
+                       << snap->embedder->dimension() << ")";
+  return KnowledgeBase(std::move(snap));
+}
+
+KnowledgeBase::KnowledgeBase(SnapshotPtr snap) {
+  if (snap == nullptr) {
+    throw std::invalid_argument("KnowledgeBase: null snapshot");
+  }
+  gen_.store(snap->generation, std::memory_order_release);
+  publish_kb_gauges(*snap);
+  snap_.store(std::move(snap), std::memory_order_release);
+}
+
+KnowledgeBase::KnowledgeBase(KnowledgeBase&& other) noexcept {
+  snap_.store(other.snap_.load(std::memory_order_acquire),
+              std::memory_order_release);
+  gen_.store(other.gen_.load(std::memory_order_acquire),
+             std::memory_order_release);
+}
+
+KnowledgeBase& KnowledgeBase::operator=(KnowledgeBase&& other) noexcept {
+  if (this != &other) {
+    snap_.store(other.snap_.load(std::memory_order_acquire),
+                std::memory_order_release);
+    gen_.store(other.gen_.load(std::memory_order_acquire),
+               std::memory_order_release);
+  }
+  return *this;
+}
+
+double KnowledgeBase::publish(SnapshotPtr next) {
+  if (next == nullptr) {
+    throw std::invalid_argument("KnowledgeBase::publish: null snapshot");
+  }
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  const SnapshotPtr cur = snap_.load(std::memory_order_acquire);
+  if (next->generation <= cur->generation) {
+    throw std::logic_error(
+        "KnowledgeBase::publish: generation must increase (current " +
+        std::to_string(cur->generation) + ", got " +
+        std::to_string(next->generation) + ")");
+  }
+
+  obs::Span span(obs::global_tracer(), obs::kSpanKbSwap);
+  span.set_attr("from", cur->generation);
+  span.set_attr("to", next->generation);
+  pkb::util::Stopwatch watch;
+  const std::uint64_t generation = next->generation;
+  publish_kb_gauges(*next);
+  snap_.store(std::move(next), std::memory_order_release);
+  gen_.store(generation, std::memory_order_release);
+  const double seconds = watch.seconds();
+  obs::global_metrics().histogram(obs::kKbSwapSeconds).observe(seconds);
+  return seconds;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot persistence.
+//
+// Layout: magic "PKBS" | u32 version | u64 generation |
+//         u64 embedder_fit_generation | u64 chunks_at_fit | u64 source_count
+//         | options (embedder, file_pattern, splitter fields)
+//         | VectorStore blob (its own magic/version, docs + vectors)
+//         | chunk section "CHNK": per-entry ids revalidating store order
+//         | symbol section "SYMS": symbol -> chunk indices.
+//
+// The chunks are reconstructed from the store's documents (entry i ==
+// chunks[i] by invariant); the embedder is refitted from them — fit() is
+// deterministic, so the reloaded generation embeds queries identically.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kSnapshotMagic[4] = {'P', 'K', 'B', 'S'};
+constexpr char kChunkSectionMagic[4] = {'C', 'H', 'N', 'K'};
+constexpr char kSymbolSectionMagic[4] = {'S', 'Y', 'M', 'S'};
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+void read_magic(std::istream& in, const char (&expect)[4], const char* what) {
+  char magic[4] = {};
+  pkb::util::read_bytes(in, magic, sizeof magic, what);
+  if (std::string_view(magic, 4) != std::string_view(expect, 4)) {
+    throw std::runtime_error(std::string("Snapshot::load: bad magic for ") +
+                             what);
+  }
+}
+
+}  // namespace
+
+void Snapshot::save(const std::string& path) const {
+  namespace bin = pkb::util;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("Snapshot::save: cannot open " + path);
+  }
+  out.write(kSnapshotMagic, sizeof kSnapshotMagic);
+  bin::write_u32(out, kSnapshotVersion);
+  bin::write_u64(out, generation);
+  bin::write_u64(out, embedder_fit_generation);
+  bin::write_u64(out, chunks_at_fit);
+  bin::write_u64(out, source_count);
+  bin::write_str(out, opts.embedder);
+  bin::write_str(out, opts.file_pattern);
+  bin::write_u64(out, opts.splitter.chunk_size);
+  bin::write_u64(out, opts.splitter.chunk_overlap);
+  bin::write_u32(out, opts.splitter.keep_separator ? 1 : 0);
+  bin::write_u64(out, opts.splitter.separators.size());
+  for (const std::string& sep : opts.splitter.separators) {
+    bin::write_str(out, sep);
+  }
+
+  store.save(out);
+
+  out.write(kChunkSectionMagic, sizeof kChunkSectionMagic);
+  bin::write_u64(out, chunks.size());
+  for (const text::Document& chunk : chunks) {
+    bin::write_str(out, chunk.id);
+  }
+
+  const std::vector<lexical::SymbolEntry> entries = symbols->entries();
+  out.write(kSymbolSectionMagic, sizeof kSymbolSectionMagic);
+  bin::write_u64(out, entries.size());
+  for (const lexical::SymbolEntry& entry : entries) {
+    bin::write_str(out, entry.symbol);
+    bin::write_u64(out, entry.chunks.size());
+    for (std::size_t index : entry.chunks) {
+      bin::write_u64(out, index);
+    }
+  }
+  if (!out) {
+    throw std::runtime_error("Snapshot::save: write failed for " + path);
+  }
+}
+
+SnapshotPtr Snapshot::load(const std::string& path) {
+  namespace bin = pkb::util;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("Snapshot::load: cannot open " + path);
+  }
+  read_magic(in, kSnapshotMagic, "snapshot header");
+  const std::uint32_t version = bin::read_u32(in, "snapshot version");
+  if (version != kSnapshotVersion) {
+    throw std::runtime_error("Snapshot::load: unsupported version " +
+                             std::to_string(version));
+  }
+  auto snap = std::make_shared<Snapshot>();
+  snap->generation = bin::read_u64(in, "generation");
+  snap->embedder_fit_generation = bin::read_u64(in, "embedder_fit_generation");
+  snap->chunks_at_fit = bin::read_count(in, "chunks_at_fit");
+  snap->source_count = bin::read_count(in, "source_count");
+  snap->opts.embedder = bin::read_str(in, "embedder name");
+  snap->opts.file_pattern = bin::read_str(in, "file pattern");
+  snap->opts.splitter.chunk_size = bin::read_count(in, "chunk_size");
+  snap->opts.splitter.chunk_overlap = bin::read_count(in, "chunk_overlap");
+  snap->opts.splitter.keep_separator =
+      bin::read_u32(in, "keep_separator") != 0;
+  const std::uint64_t n_separators =
+      bin::read_count(in, "separator count", /*max=*/1024);
+  snap->opts.splitter.separators.clear();
+  for (std::uint64_t i = 0; i < n_separators; ++i) {
+    snap->opts.splitter.separators.push_back(bin::read_str(in, "separator"));
+  }
+
+  snap->store = vectordb::VectorStore::load(in);
+
+  read_magic(in, kChunkSectionMagic, "chunk section");
+  const std::uint64_t chunk_count = bin::read_count(in, "chunk count");
+  if (chunk_count != snap->store.size()) {
+    throw std::runtime_error(
+        "Snapshot::load: chunk section disagrees with vector store size");
+  }
+  snap->chunks.reserve(chunk_count);
+  for (std::uint64_t i = 0; i < chunk_count; ++i) {
+    const std::string id = bin::read_str(in, "chunk id");
+    if (id != snap->store.doc(i).id) {
+      throw std::runtime_error(
+          "Snapshot::load: chunk id mismatch at index " + std::to_string(i));
+    }
+    snap->chunks.push_back(snap->store.doc(i));
+  }
+
+  read_magic(in, kSymbolSectionMagic, "symbol section");
+  const std::uint64_t symbol_count = bin::read_count(in, "symbol count");
+  std::vector<lexical::SymbolEntry> entries;
+  entries.reserve(symbol_count);
+  for (std::uint64_t i = 0; i < symbol_count; ++i) {
+    lexical::SymbolEntry entry;
+    entry.symbol = bin::read_str(in, "symbol name");
+    const std::uint64_t n = bin::read_count(in, "symbol chunk count");
+    entry.chunks.reserve(n);
+    for (std::uint64_t c = 0; c < n; ++c) {
+      const std::uint64_t index = bin::read_u64(in, "symbol chunk index");
+      if (index >= chunk_count) {
+        throw std::runtime_error(
+            "Snapshot::load: symbol chunk index out of range");
+      }
+      entry.chunks.push_back(static_cast<std::size_t>(index));
+    }
+    entries.push_back(std::move(entry));
+  }
+  snap->symbols = std::make_shared<lexical::SymbolIndex>(
+      lexical::SymbolIndex::from_entries(std::move(entries)));
+
+  std::unique_ptr<embed::Embedder> embedder =
+      embed::make_embedder(snap->opts.embedder);
+  embedder->fit(snap->chunks);
+  if (snap->embedder_fit_generation == snap->generation) {
+    // The saved embedder was fitted on exactly this chunk list; refitting
+    // reproduces it, so the stored vectors are kept bit-exact.
+    if (!snap->chunks.empty() &&
+        embedder->dimension() != snap->store.dimension()) {
+      throw std::runtime_error(
+          "Snapshot::load: refitted embedder dimension disagrees with "
+          "stored vectors");
+    }
+  } else {
+    // Delta generation: its embedder was fitted on an older chunk list that
+    // the file does not carry. Reload as a refit generation — re-embed the
+    // chunks with the freshly fitted embedder so store and queries agree.
+    snap->store =
+        vectordb::VectorStore::from_documents(snap->chunks, *embedder);
+    snap->embedder_fit_generation = snap->generation;
+    snap->chunks_at_fit = snap->chunks.size();
+  }
+  snap->embedder = std::move(embedder);
+
+  PKB_LOG(Info, "rag") << "snapshot loaded: generation " << snap->generation
+                       << ", " << snap->chunks.size() << " chunks from "
+                       << path;
+  return snap;
+}
+
+}  // namespace pkb::rag

@@ -1,0 +1,170 @@
+#pragma once
+// Generational retrieval substrate — the RCU-style successor of the old
+// immutable RagDatabase.
+//
+// A `Snapshot` is one immutable generation of the knowledge base: chunked
+// corpus + fitted embedder + vector store + symbol index, stamped with a
+// monotonically increasing generation id. `KnowledgeBase` holds an atomic
+// shared_ptr to the current snapshot: readers pin a generation with
+// snapshot() (cheap, lock-free to them) and keep using it for as long as
+// they hold the pointer, while the ingest subsystem (src/ingest/) builds
+// the next generation off to the side and publish()es it with a single
+// pointer swap. In-flight queries are never torn across generations and a
+// publish never blocks readers.
+//
+// This is how the paper's central loop — resolved conversations curated
+// back into the corpus so the next question retrieves from a richer KB
+// (§II, §V) — runs without a process restart.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "embed/embedder.h"
+#include "lexical/keyword_search.h"
+#include "text/loader.h"
+#include "text/splitter.h"
+#include "vectordb/vector_store.h"
+
+namespace pkb::rag {
+
+/// Build configuration, shared by the initial build and every later
+/// ingest-built generation (carried inside each Snapshot).
+struct KnowledgeBaseOptions {
+  /// Embedding model registry name.
+  std::string embedder = "sim-embed-3-large";
+  /// Glob selecting corpus files.
+  std::string file_pattern = "**/*.md";
+  /// Chunking parameters (LangChain-style defaults scaled to manual pages).
+  text::SplitterOptions splitter = {.chunk_size = 700,
+                                    .chunk_overlap = 100,
+                                    .separators = {"\n\n", "\n", " ", ""},
+                                    .keep_separator = false};
+};
+
+/// Compat alias: the pre-generational name, still used across benches and
+/// examples.
+using RagDatabaseOptions = KnowledgeBaseOptions;
+
+/// One immutable generation: everything retrieval needs, bundled. Invariant:
+/// `store` entry i is the embedding of `chunks[i]` (same document, same
+/// order); `symbols` indexes into `chunks`. Never mutated after publish —
+/// share freely across threads via SnapshotPtr.
+struct Snapshot {
+  /// Monotonic generation id; the initial build is generation 1.
+  std::uint64_t generation = 0;
+  KnowledgeBaseOptions opts;
+  std::vector<text::Document> chunks;
+  /// Fitted embedder. Shared between delta generations; replaced only by a
+  /// full refit (see embedder_fit_generation).
+  std::shared_ptr<const embed::Embedder> embedder;
+  vectordb::VectorStore store;
+  std::shared_ptr<const lexical::SymbolIndex> symbols;
+  /// Number of source documents that contributed to `chunks`.
+  std::size_t source_count = 0;
+  /// Generation at which `embedder` was last fitted — the serve layer keys
+  /// its embedding memo by this, so delta generations (same embedder) keep
+  /// their memo hits and a refit invalidates them.
+  std::uint64_t embedder_fit_generation = 0;
+  /// Chunk count at the last embedder fit; the ingestor's drift check
+  /// compares growth since then against its refit threshold.
+  std::size_t chunks_at_fit = 0;
+
+  /// Persist this generation so a cold start can skip the corpus rebuild
+  /// (loaders, splitter, embed_batch). Format: versioned header + the
+  /// VectorStore binary blob + chunk-id and symbol-index sections. The
+  /// embedder is refitted from the chunks on load (fit is deterministic),
+  /// not serialized. Throws std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+  static std::shared_ptr<const Snapshot> load(const std::string& path);
+};
+
+using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+/// The generational knowledge base: an atomic current-snapshot pointer plus
+/// the publish protocol. Readers are wait-free with respect to publishers;
+/// a reader's pinned snapshot stays fully usable (and alive) across any
+/// number of publishes.
+///
+/// Compat surface: the chunks()/store()/embedder()/symbols() accessors of
+/// the old immutable RagDatabase delegate to the *current* snapshot. They
+/// are safe in single-generation use (every bench and example); code that
+/// runs concurrently with live ingestion must pin snapshot() instead.
+class KnowledgeBase {
+ public:
+  /// Build generation 1 from an in-memory corpus tree.
+  static KnowledgeBase build(const text::VirtualDir& corpus,
+                             KnowledgeBaseOptions opts = {});
+
+  /// Adopt an existing snapshot (e.g. Snapshot::load) as the current
+  /// generation.
+  explicit KnowledgeBase(SnapshotPtr snap);
+
+  /// Movable (factory return, test fixtures); moving while other threads
+  /// use the source is undefined, as for any container.
+  KnowledgeBase(KnowledgeBase&& other) noexcept;
+  KnowledgeBase& operator=(KnowledgeBase&& other) noexcept;
+  KnowledgeBase(const KnowledgeBase&) = delete;
+  KnowledgeBase& operator=(const KnowledgeBase&) = delete;
+
+  /// Pin the current generation. The returned snapshot (and every pointer
+  /// into it) stays valid for as long as the caller holds the SnapshotPtr,
+  /// regardless of later publishes.
+  [[nodiscard]] SnapshotPtr snapshot() const {
+    return snap_.load(std::memory_order_acquire);
+  }
+
+  /// Current generation id without pinning (cheap staleness checks, e.g.
+  /// the serve layer's cache validation).
+  [[nodiscard]] std::uint64_t generation() const {
+    return gen_.load(std::memory_order_acquire);
+  }
+
+  /// Publish `next` as the current generation: one atomic pointer swap.
+  /// In-flight readers keep their pinned snapshot; new snapshot() calls see
+  /// `next`. Requires next->generation > generation() (publishers are
+  /// serialized internally; a stale build throws std::logic_error).
+  /// Returns the seconds spent inside the swap critical section (what
+  /// bench/ingest_swap reports as swap latency).
+  double publish(SnapshotPtr next);
+
+  // --- compat accessors (current generation; see class comment) -----------
+  [[nodiscard]] const std::vector<text::Document>& chunks() const {
+    return current().chunks;
+  }
+  [[nodiscard]] const vectordb::VectorStore& store() const {
+    return current().store;
+  }
+  [[nodiscard]] const embed::Embedder& embedder() const {
+    return *current().embedder;
+  }
+  [[nodiscard]] const lexical::SymbolIndex& symbols() const {
+    return *current().symbols;
+  }
+  [[nodiscard]] const KnowledgeBaseOptions& options() const {
+    return current().opts;
+  }
+  [[nodiscard]] std::size_t source_count() const {
+    return current().source_count;
+  }
+
+ private:
+  /// Reference into the current snapshot. The KnowledgeBase itself keeps
+  /// the snapshot alive, so the reference is valid until the next publish.
+  [[nodiscard]] const Snapshot& current() const {
+    return *snap_.load(std::memory_order_acquire);
+  }
+
+  std::atomic<SnapshotPtr> snap_;
+  std::atomic<std::uint64_t> gen_{0};
+  mutable std::mutex publish_mu_;  ///< serializes publishers only
+};
+
+/// Compat alias: existing call sites (benches, examples, tests) keep
+/// compiling against the generational substrate unchanged.
+using RagDatabase = KnowledgeBase;
+
+}  // namespace pkb::rag

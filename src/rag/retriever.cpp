@@ -23,16 +23,34 @@ void observe_stage_metrics(obs::MetricsRegistry& metrics,
 
 }  // namespace
 
-Retriever::Retriever(const RagDatabase& db, RetrieverOptions opts)
-    : db_(db), opts_(std::move(opts)) {
+Retriever::Retriever(const KnowledgeBase& kb, RetrieverOptions opts)
+    : kb_(kb), opts_(std::move(opts)) {
   if (!opts_.reranker.empty()) {
-    reranker_ = rerank::make_reranker(opts_.reranker);
-    reranker_->fit(db_.chunks());
+    const SnapshotPtr snap = kb_.snapshot();
+    std::unique_ptr<rerank::Reranker> reranker =
+        rerank::make_reranker(opts_.reranker);
+    reranker->fit(snap->chunks);
+    reranker_ = std::move(reranker);
+    reranker_generation_ = snap->generation;
   }
 }
 
+std::shared_ptr<const rerank::Reranker> Retriever::reranker_for(
+    const Snapshot& snap) const {
+  if (opts_.reranker.empty()) return nullptr;
+  std::lock_guard<std::mutex> lock(rerank_mu_);
+  if (reranker_ == nullptr || reranker_generation_ != snap.generation) {
+    std::unique_ptr<rerank::Reranker> reranker =
+        rerank::make_reranker(opts_.reranker);
+    reranker->fit(snap.chunks);
+    reranker_ = std::move(reranker);
+    reranker_generation_ = snap.generation;
+  }
+  return reranker_;
+}
+
 void Retriever::assemble_from_hits(
-    std::string_view query,
+    const Snapshot& snap, std::string_view query,
     const std::vector<vectordb::SearchResult>& vector_hits,
     RetrievalResult& result) const {
   obs::MetricsRegistry& metrics = obs::global_metrics();
@@ -40,7 +58,7 @@ void Retriever::assemble_from_hits(
 
   // --- First pass 2/2: PETSc keyword augmentation (§III-C). ---
   // Candidates dedup by chunk id: vector hits point into the store's copy
-  // of the documents, keyword hits into the database's chunk list.
+  // of the documents, keyword hits into the snapshot's chunk list.
   std::vector<RetrievedContext> candidates;
   std::unordered_map<std::string_view, std::size_t> pos;
   for (const vectordb::SearchResult& hit : vector_hits) {
@@ -56,9 +74,9 @@ void Retriever::assemble_from_hits(
     obs::Span keyword_span(obs::global_tracer(), obs::kSpanKeywordAugment);
     std::size_t added = 0;
     std::size_t merged = 0;
-    for (const lexical::KeywordHit& hit : db_.symbols().lookup(query)) {
+    for (const lexical::KeywordHit& hit : snap.symbols->lookup(query)) {
       for (std::size_t chunk_index : hit.chunks) {
-        const text::Document* doc = &db_.chunks()[chunk_index];
+        const text::Document* doc = &snap.chunks[chunk_index];
         auto it = pos.find(std::string_view(doc->id));
         if (it != pos.end()) {
           if (candidates[it->second].via == "vector") ++merged;
@@ -102,10 +120,11 @@ void Retriever::assemble_from_hits(
   }
 
   // --- Second pass: reranking K (+ keyword extras) down to L (§III-D). ---
-  if (reranker_ != nullptr) {
+  const std::shared_ptr<const rerank::Reranker> reranker = reranker_for(snap);
+  if (reranker != nullptr) {
     watch.reset();
     obs::Span rerank_span(obs::global_tracer(), obs::kSpanRerank);
-    rerank_span.set_attr("reranker", reranker_->name());
+    rerank_span.set_attr("reranker", reranker->name());
     rerank_span.set_attr("in", candidates.size());
     std::vector<rerank::RerankCandidate> rc;
     rc.reserve(candidates.size());
@@ -113,7 +132,7 @@ void Retriever::assemble_from_hits(
       rc.push_back(rerank::RerankCandidate{
           ctx.doc, static_cast<float>(ctx.score)});
     }
-    const auto reranked = reranker_->rerank(query, rc, opts_.final_l);
+    const auto reranked = reranker->rerank(query, rc, opts_.final_l);
     result.contexts.clear();
     for (const rerank::RerankResult& rr : reranked) {
       RetrievedContext ctx = candidates[rr.original_rank];
@@ -130,21 +149,28 @@ void Retriever::assemble_from_hits(
 }
 
 RetrievalResult Retriever::retrieve(std::string_view query) const {
+  return retrieve_on(kb_.snapshot(), query);
+}
+
+RetrievalResult Retriever::retrieve_on(const SnapshotPtr& snap,
+                                       std::string_view query) const {
   obs::MetricsRegistry& metrics = obs::global_metrics();
   metrics.counter(obs::kRetrieveRequestsTotal).inc();
   obs::Span span(obs::global_tracer(), obs::kSpanRetrieve);
   span.set_attr("k", opts_.first_pass_k);
   span.set_attr("l", opts_.final_l);
+  span.set_attr("generation", snap->generation);
 
   RetrievalResult result;
+  result.snapshot = snap;
   pkb::util::Stopwatch watch;
 
   // --- First pass 1/2: embedding search (box 1 of Fig 3). ---
   embed::Vector query_vec;
   {
     obs::Span embed_span(obs::global_tracer(), obs::kSpanEmbedQuery);
-    query_vec = db_.embedder().embed(query);
-    embed_span.set_attr("embedder", db_.embedder().name());
+    query_vec = snap->embedder->embed(query);
+    embed_span.set_attr("embedder", snap->embedder->name());
     embed_span.set_attr("dim", query_vec.size());
   }
   result.embed_seconds = watch.seconds();
@@ -154,12 +180,12 @@ RetrievalResult Retriever::retrieve(std::string_view query) const {
   {
     obs::Span search_span(obs::global_tracer(), obs::kSpanVectorSearch);
     vector_hits =
-        db_.store().similarity_search(query_vec, opts_.first_pass_k);
+        snap->store.similarity_search(query_vec, opts_.first_pass_k);
     search_span.set_attr("hits", vector_hits.size());
   }
   result.search_seconds = watch.seconds();
 
-  assemble_from_hits(query, vector_hits, result);
+  assemble_from_hits(*snap, query, vector_hits, result);
   span.set_attr("candidates", result.first_pass.size());
   span.set_attr("kept", result.contexts.size());
   observe_stage_metrics(metrics, result);
@@ -167,25 +193,28 @@ RetrievalResult Retriever::retrieve(std::string_view query) const {
 }
 
 RetrievalResult Retriever::retrieve_with_embedding(
-    std::string_view query, const embed::Vector& query_vec) const {
+    const SnapshotPtr& snap, std::string_view query,
+    const embed::Vector& query_vec) const {
   obs::MetricsRegistry& metrics = obs::global_metrics();
   metrics.counter(obs::kRetrieveRequestsTotal).inc();
   obs::Span span(obs::global_tracer(), obs::kSpanRetrieve);
   span.set_attr("k", opts_.first_pass_k);
   span.set_attr("l", opts_.final_l);
+  span.set_attr("generation", snap->generation);
 
   RetrievalResult result;
+  result.snapshot = snap;
   pkb::util::Stopwatch watch;
   std::vector<vectordb::SearchResult> vector_hits;
   {
     obs::Span search_span(obs::global_tracer(), obs::kSpanVectorSearch);
     vector_hits =
-        db_.store().similarity_search(query_vec, opts_.first_pass_k);
+        snap->store.similarity_search(query_vec, opts_.first_pass_k);
     search_span.set_attr("hits", vector_hits.size());
   }
   result.search_seconds = watch.seconds();
 
-  assemble_from_hits(query, vector_hits, result);
+  assemble_from_hits(*snap, query, vector_hits, result);
   span.set_attr("candidates", result.first_pass.size());
   span.set_attr("kept", result.contexts.size());
   observe_stage_metrics(metrics, result);
@@ -195,17 +224,18 @@ RetrievalResult Retriever::retrieve_with_embedding(
 std::vector<RetrievalResult> Retriever::retrieve_batch(
     const std::vector<std::string>& queries) const {
   if (queries.empty()) return {};
+  const SnapshotPtr snap = kb_.snapshot();
   // Embed every query in parallel (the embedder is thread-safe after fit).
   pkb::util::Stopwatch watch;
   std::vector<embed::Vector> vecs(queries.size());
   pkb::util::parallel_for(
       0, queries.size(),
-      [&](std::size_t i) { vecs[i] = db_.embedder().embed(queries[i]); },
+      [&](std::size_t i) { vecs[i] = snap->embedder->embed(queries[i]); },
       /*min_block=*/1);
   const double embed_total = watch.seconds();
 
   std::vector<RetrievalResult> out =
-      retrieve_batch_with_embeddings(queries, vecs);
+      retrieve_batch_with_embeddings(snap, queries, vecs);
   // Attribute the shared embedding time evenly across the batch.
   const double share = embed_total / static_cast<double>(queries.size());
   for (RetrievalResult& r : out) r.embed_seconds = share;
@@ -213,7 +243,7 @@ std::vector<RetrievalResult> Retriever::retrieve_batch(
 }
 
 std::vector<RetrievalResult> Retriever::retrieve_batch_with_embeddings(
-    const std::vector<std::string>& queries,
+    const SnapshotPtr& snap, const std::vector<std::string>& queries,
     const std::vector<embed::Vector>& vecs) const {
   std::vector<RetrievalResult> out(queries.size());
   if (queries.empty()) return out;
@@ -227,7 +257,7 @@ std::vector<RetrievalResult> Retriever::retrieve_batch_with_embeddings(
     obs::Span span(obs::global_tracer(), obs::kSpanVectorSearchBatch);
     span.set_attr("queries", queries.size());
     span.set_attr("k", opts_.first_pass_k);
-    all_hits = db_.store().similarity_search_batch(vecs, opts_.first_pass_k);
+    all_hits = snap->store.similarity_search_batch(vecs, opts_.first_pass_k);
   }
   const double search_total = watch.seconds();
 
@@ -239,8 +269,10 @@ std::vector<RetrievalResult> Retriever::retrieve_batch_with_embeddings(
     obs::Span span(obs::global_tracer(), obs::kSpanRetrieve);
     span.set_attr("k", opts_.first_pass_k);
     span.set_attr("l", opts_.final_l);
+    span.set_attr("generation", snap->generation);
+    out[i].snapshot = snap;
     out[i].search_seconds = search_total / n;
-    assemble_from_hits(queries[i], all_hits[i], out[i]);
+    assemble_from_hits(*snap, queries[i], all_hits[i], out[i]);
     span.set_attr("candidates", out[i].first_pass.size());
     span.set_attr("kept", out[i].contexts.size());
     observe_stage_metrics(metrics, out[i]);

@@ -1,11 +1,20 @@
 #pragma once
 // The retrieval phase (§III-B/C/D): embedding search (first pass, K
 // candidates) + PETSc keyword augmentation + optional reranking down to L.
+//
+// Generational model: every retrieval runs against one pinned Snapshot and
+// the result carries that SnapshotPtr, so the contexts' Document pointers
+// stay valid even after the knowledge base publishes newer generations.
+// Callers that already pinned a snapshot (the serve layer does, to keep its
+// caches generation-consistent) pass it to the *_on entry points; the plain
+// entry points pin the current generation themselves.
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
-#include "rag/database.h"
+#include "rag/knowledge_base.h"
 #include "rerank/reranker.h"
 
 namespace pkb::rag {
@@ -19,7 +28,8 @@ struct RetrieverOptions {
   std::string reranker = "sim-flashrank";
 };
 
-/// One retrieved context with provenance.
+/// One retrieved context with provenance. `doc` points into the snapshot
+/// pinned by the owning RetrievalResult.
 struct RetrievedContext {
   const text::Document* doc = nullptr;
   double score = 0.0;
@@ -32,6 +42,9 @@ struct RetrievedContext {
 
 /// Full retrieval outcome with stage timings (feeds Table II).
 struct RetrievalResult {
+  /// The generation this retrieval ran against. Owning this pointer is what
+  /// keeps every `doc` pointer in `contexts` alive across later publishes.
+  SnapshotPtr snapshot;
   /// Final contexts, best first. Plain RAG: first-pass order; rerank arm:
   /// rerank order, truncated to L.
   std::vector<RetrievedContext> contexts;
@@ -45,28 +58,41 @@ struct RetrievalResult {
   [[nodiscard]] double rag_seconds() const {
     return embed_seconds + search_seconds + rerank_seconds;
   }
+  /// Generation id of the pinned snapshot (0 when unset).
+  [[nodiscard]] std::uint64_t generation() const {
+    return snapshot ? snapshot->generation : 0;
+  }
 };
 
-/// Bound to a database; owns its reranker. All retrieval entry points are
-/// const and safe to call concurrently from many threads: the database is
-/// immutable after build and the reranker's rerank() is const.
+/// Bound to a KnowledgeBase; owns its reranker. All retrieval entry points
+/// are const and safe to call concurrently from many threads: snapshots are
+/// immutable and the reranker's rerank() is const. The reranker is refitted
+/// lazily (under an internal mutex) when a retrieval first observes a new
+/// generation, so its corpus statistics track the published chunk list.
 class Retriever {
  public:
-  Retriever(const RagDatabase& db, RetrieverOptions opts = {});
+  Retriever(const KnowledgeBase& kb, RetrieverOptions opts = {});
 
   [[nodiscard]] RetrievalResult retrieve(std::string_view query) const;
 
-  /// As retrieve(), but with the query embedding supplied by the caller
+  /// As retrieve(), but against an explicitly pinned generation. The serve
+  /// layer pins once per request and passes the same snapshot to embedding
+  /// and retrieval so the two can never straddle a publish.
+  [[nodiscard]] RetrievalResult retrieve_on(const SnapshotPtr& snap,
+                                            std::string_view query) const;
+
+  /// As retrieve_on(), but with the query embedding supplied by the caller
   /// (e.g. the serve layer's embedding memo cache). `query_vec` must equal
-  /// db().embedder().embed(query) for the result to match retrieve();
+  /// snap->embedder->embed(query) for the result to match retrieve_on();
   /// embed_seconds is reported as 0 (no embedding work happened here).
   [[nodiscard]] RetrievalResult retrieve_with_embedding(
-      std::string_view query, const embed::Vector& query_vec) const;
+      const SnapshotPtr& snap, std::string_view query,
+      const embed::Vector& query_vec) const;
 
   /// Batched retrieval: embeds every query, runs one amortized
   /// VectorStore::similarity_search_batch scan, then completes keyword
   /// augmentation and reranking per query. Element i is identical in
-  /// content to retrieve(queries[i]).
+  /// content to retrieve(queries[i]) on the same snapshot.
   [[nodiscard]] std::vector<RetrievalResult> retrieve_batch(
       const std::vector<std::string>& queries) const;
 
@@ -74,24 +100,36 @@ class Retriever {
   /// layer's memo cache); `vecs` is parallel to `queries`. embed_seconds is
   /// reported as 0.
   [[nodiscard]] std::vector<RetrievalResult> retrieve_batch_with_embeddings(
-      const std::vector<std::string>& queries,
+      const SnapshotPtr& snap, const std::vector<std::string>& queries,
       const std::vector<embed::Vector>& vecs) const;
 
   [[nodiscard]] const RetrieverOptions& options() const { return opts_; }
-  [[nodiscard]] bool reranking_enabled() const { return reranker_ != nullptr; }
-  [[nodiscard]] const RagDatabase& db() const { return db_; }
+  [[nodiscard]] bool reranking_enabled() const {
+    return !opts_.reranker.empty();
+  }
+  [[nodiscard]] const KnowledgeBase& kb() const { return kb_; }
+  /// Compat name for the pre-generational accessor.
+  [[nodiscard]] const KnowledgeBase& db() const { return kb_; }
 
  private:
   /// Stages 2..4 of retrieval: keyword augmentation, provenance metrics,
-  /// reranking. `vector_hits` are the first-pass hits for `query`;
-  /// `result` carries the embed timing already accounted by the caller.
-  void assemble_from_hits(std::string_view query,
+  /// reranking. `vector_hits` are the first-pass hits for `query` against
+  /// `snap`; `result` carries the embed timing already accounted by the
+  /// caller and has `result.snapshot` set.
+  void assemble_from_hits(const Snapshot& snap, std::string_view query,
                           const std::vector<vectordb::SearchResult>& vector_hits,
                           RetrievalResult& result) const;
 
-  const RagDatabase& db_;
+  /// The reranker fitted for `snap`'s generation, refitting if this is the
+  /// first retrieval to observe it. Returns nullptr when reranking is off.
+  [[nodiscard]] std::shared_ptr<const rerank::Reranker> reranker_for(
+      const Snapshot& snap) const;
+
+  const KnowledgeBase& kb_;
   RetrieverOptions opts_;
-  std::unique_ptr<rerank::Reranker> reranker_;
+  mutable std::mutex rerank_mu_;
+  mutable std::shared_ptr<const rerank::Reranker> reranker_;
+  mutable std::uint64_t reranker_generation_ = 0;
 };
 
 }  // namespace pkb::rag

@@ -20,10 +20,10 @@ std::string_view to_string(PipelineArm arm) {
   return "?";
 }
 
-AugmentedWorkflow::AugmentedWorkflow(const RagDatabase& db, PipelineArm arm,
+AugmentedWorkflow::AugmentedWorkflow(const KnowledgeBase& kb, PipelineArm arm,
                                      llm::LlmConfig model,
                                      RetrieverOptions retriever_opts)
-    : db_(db), arm_(arm), llm_(std::move(model)) {
+    : kb_(kb), arm_(arm), llm_(std::move(model)) {
   if (arm_ != PipelineArm::Baseline) {
     if (arm_ == PipelineArm::Rag) {
       // Plain RAG is the vanilla LangChain-style pipeline: embedding
@@ -32,7 +32,7 @@ AugmentedWorkflow::AugmentedWorkflow(const RagDatabase& db, PipelineArm arm,
       retriever_opts.reranker.clear();
       retriever_opts.use_keyword_search = false;
     }
-    retriever_ = std::make_unique<Retriever>(db_, std::move(retriever_opts));
+    retriever_ = std::make_unique<Retriever>(kb_, std::move(retriever_opts));
   }
 }
 
@@ -93,6 +93,9 @@ WorkflowOutcome AugmentedWorkflow::ask_with_retrieval(
 
 WorkflowOutcome AugmentedWorkflow::finish(std::string_view question,
                                           WorkflowOutcome outcome) const {
+  // Stamp the generation the answer reflects. Baseline outcomes read no
+  // corpus and stay 0 — they can never go stale.
+  outcome.generation = outcome.retrieval.generation();
   llm::LlmRequest request;
   request.question = std::string(question);
   if (retriever_ != nullptr) {
@@ -142,7 +145,9 @@ WorkflowOutcome AugmentedWorkflow::finish(std::string_view question,
     record.response = outcome.response.text;
     record.model = llm_.config().name;
     if (retriever_ != nullptr) {
-      record.embedding_model = db_.embedder().name();
+      record.embedding_model = outcome.retrieval.snapshot != nullptr
+                                   ? outcome.retrieval.snapshot->embedder->name()
+                                   : kb_.embedder().name();
       record.reranker = retriever_->options().reranker;
     }
     record.pipeline = std::string(to_string(arm_));

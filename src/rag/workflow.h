@@ -32,6 +32,11 @@ struct WorkflowOutcome {
   post::ProcessedOutput processed;  ///< box-4 postprocessing of the response
   std::string prompt;               ///< the full prompt sent to the model
   std::uint64_t history_id = 0;     ///< record id when history is attached
+  /// KnowledgeBase generation the answer was computed against (0 for the
+  /// Baseline arm, which reads no corpus). The serve layer compares this to
+  /// the live generation to detect stale cached answers; retrieval.snapshot
+  /// keeps the generation's documents alive while the outcome is cached.
+  std::uint64_t generation = 0;
 };
 
 /// Anything that can answer one question end to end: the workflow itself,
@@ -48,8 +53,10 @@ class QuestionService {
 class AugmentedWorkflow : public QuestionService {
  public:
   /// `arm` selects retrieval behaviour; `retriever_opts.reranker` is
-  /// overridden to "" for the Rag arm and kept for RagRerank.
-  AugmentedWorkflow(const RagDatabase& db, PipelineArm arm,
+  /// overridden to "" for the Rag arm and kept for RagRerank. The knowledge
+  /// base may keep publishing new generations; each ask() pins the
+  /// then-current snapshot for its whole pipeline run.
+  AugmentedWorkflow(const KnowledgeBase& kb, PipelineArm arm,
                     llm::LlmConfig model, RetrieverOptions retriever_opts = {});
 
   /// Attach a history store; subsequent ask() calls append records. The
@@ -74,9 +81,10 @@ class AugmentedWorkflow : public QuestionService {
   [[nodiscard]] WorkflowOutcome ask_with_retrieval(
       std::string_view question, RetrievalResult retrieval) const;
 
-  /// QuestionService: answer == ask. ask() is const and the database is
-  /// immutable, so concurrent calls are safe (the history store, when
-  /// attached, serializes its own appends).
+  /// QuestionService: answer == ask. ask() is const and runs against an
+  /// immutable pinned snapshot, so concurrent calls are safe even while
+  /// ingestion publishes new generations (the history store, when attached,
+  /// serializes its own appends).
   [[nodiscard]] WorkflowOutcome answer(
       std::string_view question) const override {
     return ask(question);
@@ -85,6 +93,7 @@ class AugmentedWorkflow : public QuestionService {
   [[nodiscard]] PipelineArm arm() const { return arm_; }
   [[nodiscard]] const llm::LlmConfig& model() const { return llm_.config(); }
   [[nodiscard]] const Retriever* retriever() const { return retriever_.get(); }
+  [[nodiscard]] const KnowledgeBase& kb() const { return kb_; }
 
  private:
   /// Boxes 2-4 plus history recording, shared by ask() and
@@ -92,7 +101,7 @@ class AugmentedWorkflow : public QuestionService {
   [[nodiscard]] WorkflowOutcome finish(std::string_view question,
                                        WorkflowOutcome outcome) const;
 
-  const RagDatabase& db_;
+  const KnowledgeBase& kb_;
   PipelineArm arm_;
   llm::SimLlm llm_;
   std::unique_ptr<Retriever> retriever_;

@@ -60,13 +60,15 @@ std::future<rag::WorkflowOutcome> Server::submit(std::string question) {
   std::promise<rag::WorkflowOutcome> promise;
   std::future<rag::WorkflowOutcome> future = promise.get_future();
 
-  // Fast path: answer already cached — resolve on the caller's thread
-  // without touching the queue.
+  // Fast path: answer already cached and still current — resolve on the
+  // caller's thread without touching the queue.
   if (std::optional<rag::WorkflowOutcome> hit = answer_cache_.get(question)) {
-    metrics.counter(obs::kServeAnswerCacheHitsTotal).inc();
-    submitted_.fetch_add(1, std::memory_order_relaxed);
-    promise.set_value(std::move(*hit));
-    return future;
+    if (outcome_fresh(*hit)) {
+      metrics.counter(obs::kServeAnswerCacheHitsTotal).inc();
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+      promise.set_value(std::move(*hit));
+      return future;
+    }
   }
 
   Request req;
@@ -123,8 +125,8 @@ std::vector<rag::WorkflowOutcome> Server::ask_batch(
       dup_of[i] = it->second;
       continue;
     }
-    if (std::optional<rag::WorkflowOutcome> hit =
-            answer_cache_.get(questions[i])) {
+    std::optional<rag::WorkflowOutcome> hit = answer_cache_.get(questions[i]);
+    if (hit && outcome_fresh(*hit)) {
       metrics.counter(obs::kServeAnswerCacheHitsTotal).inc();
       out[i] = std::move(*hit);
       dup_of[i] = i;  // duplicates of i copy from out[i]
@@ -140,11 +142,15 @@ std::vector<rag::WorkflowOutcome> Server::ask_batch(
   submitted_.fetch_add(questions.size(), std::memory_order_relaxed);
 
   // One amortized vector scan for every uncached unique question (Baseline
-  // arm has no retriever — workers run the plain pipeline instead).
+  // arm has no retriever — workers run the plain pipeline instead). The
+  // whole batch runs against one pinned snapshot: embeddings, scan and
+  // per-question completion can never straddle a publish.
   const rag::Retriever* retriever = workflow_.retriever();
   std::vector<std::future<rag::WorkflowOutcome>> futures;
   futures.reserve(unique_slots.size());
   if (retriever != nullptr && !unique_slots.empty()) {
+    const rag::SnapshotPtr snap = retriever->kb().snapshot();
+    span.set_attr("generation", snap->generation);
     std::vector<std::string> unique_questions;
     unique_questions.reserve(unique_slots.size());
     for (std::size_t slot : unique_slots) {
@@ -152,18 +158,11 @@ std::vector<rag::WorkflowOutcome> Server::ask_batch(
     }
     std::vector<embed::Vector> vecs(unique_questions.size());
     for (std::size_t i = 0; i < unique_questions.size(); ++i) {
-      if (std::optional<embed::Vector> hit =
-              embedding_cache_.get(unique_questions[i])) {
-        metrics.counter(obs::kServeEmbedCacheHitsTotal).inc();
-        vecs[i] = std::move(*hit);
-        continue;
-      }
-      metrics.counter(obs::kServeEmbedCacheMissesTotal).inc();
-      vecs[i] = retriever->db().embedder().embed(unique_questions[i]);
-      embedding_cache_.put(unique_questions[i], vecs[i]);
+      vecs[i] = embed_memoized(*snap, unique_questions[i]);
     }
     std::vector<rag::RetrievalResult> retrievals =
-        retriever->retrieve_batch_with_embeddings(unique_questions, vecs);
+        retriever->retrieve_batch_with_embeddings(snap, unique_questions,
+                                                  vecs);
     for (std::size_t i = 0; i < unique_slots.size(); ++i) {
       Request req;
       req.question = unique_questions[i];
@@ -198,6 +197,34 @@ std::vector<rag::WorkflowOutcome> Server::ask_batch(
   return out;
 }
 
+bool Server::outcome_fresh(const rag::WorkflowOutcome& outcome) const {
+  if (outcome.generation == 0) return true;  // Baseline: no corpus read
+  if (outcome.generation == workflow_.kb().generation()) return true;
+  obs::global_metrics()
+      .counter(obs::kServeCacheStaleTotal, {{"cache", "answer"}})
+      .inc();
+  return false;
+}
+
+embed::Vector Server::embed_memoized(const rag::Snapshot& snap,
+                                     const std::string& question) {
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  if (std::optional<MemoVector> hit = embedding_cache_.get(question)) {
+    if (hit->fit_generation == snap.embedder_fit_generation) {
+      metrics.counter(obs::kServeEmbedCacheHitsTotal).inc();
+      return std::move(hit->vec);
+    }
+    // Memoized under an embedder that has since been refitted.
+    metrics.counter(obs::kServeCacheStaleTotal, {{"cache", "embedding"}})
+        .inc();
+  }
+  metrics.counter(obs::kServeEmbedCacheMissesTotal).inc();
+  embed::Vector vec = snap.embedder->embed(question);
+  embedding_cache_.put(question,
+                       MemoVector{snap.embedder_fit_generation, vec});
+  return vec;
+}
+
 void Server::reject() {
   rejected_.fetch_add(1, std::memory_order_relaxed);
   obs::global_metrics().counter(obs::kServeRejectedTotal).inc();
@@ -224,8 +251,8 @@ void Server::process(Request& req) {
     // Re-check the cache: an identical question may have been answered
     // between submit() and now (duplicate suppression under concurrency).
     rag::WorkflowOutcome outcome;
-    if (std::optional<rag::WorkflowOutcome> hit =
-            answer_cache_.get(req.question)) {
+    std::optional<rag::WorkflowOutcome> hit = answer_cache_.get(req.question);
+    if (hit && outcome_fresh(*hit)) {
       metrics.counter(obs::kServeAnswerCacheHitsTotal).inc();
       span.set_attr("cache", "hit");
       outcome = std::move(*hit);
@@ -260,18 +287,12 @@ rag::WorkflowOutcome Server::run_pipeline(
   if (retrieval != nullptr) {
     outcome = workflow_.ask_with_retrieval(question, std::move(*retrieval));
   } else if (retriever != nullptr) {
-    // Single path: memoize the query embedding, then retrieve with it.
-    embed::Vector vec;
-    if (std::optional<embed::Vector> hit = embedding_cache_.get(question)) {
-      metrics.counter(obs::kServeEmbedCacheHitsTotal).inc();
-      vec = std::move(*hit);
-    } else {
-      metrics.counter(obs::kServeEmbedCacheMissesTotal).inc();
-      vec = retriever->db().embedder().embed(question);
-      embedding_cache_.put(question, vec);
-    }
+    // Single path: pin one snapshot for the whole request, memoize the
+    // query embedding against it, then retrieve on it.
+    const rag::SnapshotPtr snap = retriever->kb().snapshot();
+    const embed::Vector vec = embed_memoized(*snap, question);
     outcome = workflow_.ask_with_retrieval(
-        question, retriever->retrieve_with_embedding(question, vec));
+        question, retriever->retrieve_with_embedding(snap, question, vec));
   } else {
     outcome = workflow_.ask(question);  // Baseline arm: no retrieval stage
   }

@@ -3,13 +3,22 @@
 // production shape of the paper's one-question-at-a-time Discord deployment
 // (§III-E): a bounded MPMC request queue with backpressure feeding N worker
 // threads that each run the full retrieve → rerank → LLM → postprocess
-// pipeline against the shared read-only RagDatabase.
+// pipeline against a pinned generation of the shared rag::KnowledgeBase
+// (ingestion may publish new generations at any moment; see
+// rag/knowledge_base.h).
 //
 // Two caches short-circuit repeated traffic:
 //  * answer cache   — question → WorkflowOutcome (sharded LRU, TTL +
 //    capacity eviction): an exact repeat skips the whole pipeline;
 //  * embedding memo — question → query embedding: a repeat that misses the
 //    answer cache (e.g. expired TTL) still skips the embed stage.
+//
+// Both caches are generation-aware so live ingestion never serves stale
+// content: a cached answer is only a hit while its stamped KnowledgeBase
+// generation is still current (stale entries count pkb_serve_cache_stale
+// and are lazily overwritten by the recompute), and the embedding memo is
+// keyed by the embedder's fit generation, so delta generations (same
+// embedder) keep their memo hits while a full refit invalidates them.
 //
 // ask_batch() additionally amortizes the vector scan: all uncached
 // questions in a batch share one VectorStore::similarity_search_batch pass,
@@ -123,10 +132,25 @@ class Server final : public rag::QuestionService {
     std::unique_ptr<rag::RetrievalResult> retrieval;
   };
 
+  /// One memoized query embedding, stamped with the fit generation of the
+  /// embedder that produced it (Snapshot::embedder_fit_generation). A hit
+  /// is only valid against a snapshot with the same fit generation.
+  struct MemoVector {
+    std::uint64_t fit_generation = 0;
+    embed::Vector vec;
+  };
+
   /// Account a post-stop submission and throw.
   [[noreturn]] void reject();
   void worker_loop();
   void process(Request& req);
+  /// True when a cached outcome still reflects the current KnowledgeBase
+  /// generation (Baseline outcomes, generation 0, never go stale). Counts
+  /// pkb_serve_cache_stale_total when false.
+  [[nodiscard]] bool outcome_fresh(const rag::WorkflowOutcome& outcome) const;
+  /// Memoized query embedding for `snap`, or compute-and-memoize.
+  [[nodiscard]] embed::Vector embed_memoized(const rag::Snapshot& snap,
+                                             const std::string& question);
   /// Run the full pipeline for a cache miss (embedding memo + retrieval +
   /// LLM + postprocess + optional latency realization).
   [[nodiscard]] rag::WorkflowOutcome run_pipeline(
@@ -138,7 +162,7 @@ class Server final : public rag::QuestionService {
   ServerOptions opts_;
   BoundedQueue<Request> queue_;
   ShardedLruCache<std::string, rag::WorkflowOutcome> answer_cache_;
-  ShardedLruCache<std::string, embed::Vector> embedding_cache_;
+  ShardedLruCache<std::string, MemoVector> embedding_cache_;
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> computed_{0};

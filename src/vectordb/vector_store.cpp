@@ -8,6 +8,7 @@
 
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "util/binio.h"
 #include "util/clock.h"
 #include "util/thread_pool.h"
 
@@ -25,10 +26,10 @@ VectorStore VectorStore::from_documents(std::vector<text::Document> docs,
 
 void VectorStore::add(text::Document doc, embed::Vector vec) {
   embed::l2_normalize(vec);
-  add_raw(std::move(doc), std::move(vec));
+  add_prenormalized(std::move(doc), std::move(vec));
 }
 
-void VectorStore::add_raw(text::Document doc, embed::Vector vec) {
+void VectorStore::add_prenormalized(text::Document doc, embed::Vector vec) {
   if (docs_.empty()) {
     dim_ = vec.size();
   } else if (vec.size() != dim_) {
@@ -161,7 +162,9 @@ std::optional<std::size_t> VectorStore::find_id(std::string_view id) const {
 //
 // Format: magic "PKBV" | u32 version | u64 count | u64 dim | entries.
 // Entry: id | text | metadata (u64 count, key/value strings) | dim floats.
-// Strings: u64 length + bytes.
+// Strings: u64 length + bytes. Every read is checked: a short or garbage
+// file throws std::runtime_error naming the field that failed instead of
+// yielding a silently corrupt store.
 // ---------------------------------------------------------------------------
 
 namespace {
@@ -169,51 +172,21 @@ namespace {
 constexpr char kMagic[4] = {'P', 'K', 'B', 'V'};
 constexpr std::uint32_t kVersion = 1;
 
-void write_u32(std::ofstream& out, std::uint32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof v);
-}
-void write_u64(std::ofstream& out, std::uint64_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof v);
-}
-void write_str(std::ofstream& out, const std::string& s) {
-  write_u64(out, s.size());
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-std::uint32_t read_u32(std::ifstream& in) {
-  std::uint32_t v = 0;
-  in.read(reinterpret_cast<char*>(&v), sizeof v);
-  return v;
-}
-std::uint64_t read_u64(std::ifstream& in) {
-  std::uint64_t v = 0;
-  in.read(reinterpret_cast<char*>(&v), sizeof v);
-  return v;
-}
-std::string read_str(std::ifstream& in) {
-  const std::uint64_t len = read_u64(in);
-  if (len > (1ULL << 32)) throw std::runtime_error("corrupt string length");
-  std::string s(len, '\0');
-  in.read(s.data(), static_cast<std::streamsize>(len));
-  return s;
-}
-
 }  // namespace
 
-void VectorStore::save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("VectorStore::save: cannot open " + path);
+void VectorStore::save(std::ostream& out) const {
+  namespace bin = pkb::util;
   out.write(kMagic, sizeof kMagic);
-  write_u32(out, kVersion);
-  write_u64(out, docs_.size());
-  write_u64(out, dim_);
+  bin::write_u32(out, kVersion);
+  bin::write_u64(out, docs_.size());
+  bin::write_u64(out, dim_);
   for (std::size_t i = 0; i < docs_.size(); ++i) {
-    write_str(out, docs_[i].id);
-    write_str(out, docs_[i].text);
-    write_u64(out, docs_[i].metadata.size());
+    bin::write_str(out, docs_[i].id);
+    bin::write_str(out, docs_[i].text);
+    bin::write_u64(out, docs_[i].metadata.size());
     for (const auto& [k, v] : docs_[i].metadata) {
-      write_str(out, k);
-      write_str(out, v);
+      bin::write_str(out, k);
+      bin::write_str(out, v);
     }
     out.write(reinterpret_cast<const char*>(vecs_[i].data()),
               static_cast<std::streamsize>(dim_ * sizeof(float)));
@@ -221,38 +194,59 @@ void VectorStore::save(const std::string& path) const {
   if (!out) throw std::runtime_error("VectorStore::save: write failed");
 }
 
-VectorStore VectorStore::load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("VectorStore::load: cannot open " + path);
+VectorStore VectorStore::load(std::istream& in) {
+  namespace bin = pkb::util;
   char magic[4] = {};
-  in.read(magic, sizeof magic);
-  if (!in || std::string_view(magic, 4) != std::string_view(kMagic, 4)) {
+  bin::read_bytes(in, magic, sizeof magic, "vector store magic");
+  if (std::string_view(magic, 4) != std::string_view(kMagic, 4)) {
     throw std::runtime_error("VectorStore::load: bad magic");
   }
-  const std::uint32_t version = read_u32(in);
+  const std::uint32_t version = bin::read_u32(in, "vector store version");
   if (version != kVersion) {
-    throw std::runtime_error("VectorStore::load: unsupported version");
+    throw std::runtime_error("VectorStore::load: unsupported version " +
+                             std::to_string(version));
   }
-  const std::uint64_t count = read_u64(in);
-  const std::uint64_t dim = read_u64(in);
+  const std::uint64_t count = bin::read_count(in, "entry count");
+  const std::uint64_t dim =
+      bin::read_count(in, "vector dimension", /*max=*/1ULL << 24);
+  if (count > 0 && dim == 0) {
+    throw std::runtime_error(
+        "VectorStore::load: zero dimension with nonzero entry count");
+  }
   VectorStore store;
   for (std::uint64_t i = 0; i < count; ++i) {
     text::Document doc;
-    doc.id = read_str(in);
-    doc.text = read_str(in);
-    const std::uint64_t meta_count = read_u64(in);
+    doc.id = bin::read_str(in, "entry id");
+    doc.text = bin::read_str(in, "entry text");
+    const std::uint64_t meta_count = bin::read_count(in, "metadata count");
     for (std::uint64_t m = 0; m < meta_count; ++m) {
-      std::string key = read_str(in);
-      std::string value = read_str(in);
+      std::string key = bin::read_str(in, "metadata key");
+      std::string value = bin::read_str(in, "metadata value");
       doc.metadata.emplace(std::move(key), std::move(value));
     }
     embed::Vector vec(dim);
-    in.read(reinterpret_cast<char*>(vec.data()),
-            static_cast<std::streamsize>(dim * sizeof(float)));
-    if (!in) throw std::runtime_error("VectorStore::load: truncated file");
-    store.add_raw(std::move(doc), std::move(vec));
+    bin::read_bytes(in, reinterpret_cast<char*>(vec.data()),
+                    dim * sizeof(float), "entry vector");
+    store.add_prenormalized(std::move(doc), std::move(vec));
   }
   return store;
+}
+
+void VectorStore::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("VectorStore::save: cannot open " + path);
+  save(out);
+}
+
+VectorStore VectorStore::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("VectorStore::load: cannot open " + path);
+  try {
+    return load(in);
+  } catch (const std::runtime_error& err) {
+    throw std::runtime_error(std::string(err.what()) + " (file: " + path +
+                             ")");
+  }
 }
 
 }  // namespace pkb::vectordb

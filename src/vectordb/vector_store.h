@@ -7,6 +7,7 @@
 // a simple binary format.
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <string>
@@ -43,6 +44,12 @@ class VectorStore {
   /// must match existing entries.
   void add(text::Document doc, embed::Vector vec);
 
+  /// Add one entry whose vector is already unit norm (copied from another
+  /// store or read back by load()). Skipping the re-normalization keeps the
+  /// vector bit-identical — the ingest delta-merge relies on this so old
+  /// chunks score exactly as they did in the previous generation.
+  void add_prenormalized(text::Document doc, embed::Vector vec);
+
   [[nodiscard]] std::size_t size() const { return docs_.size(); }
   [[nodiscard]] bool empty() const { return docs_.empty(); }
   [[nodiscard]] std::size_t dimension() const { return dim_; }
@@ -76,15 +83,19 @@ class VectorStore {
   [[nodiscard]] std::optional<std::size_t> find_id(std::string_view id) const;
 
   /// Persist to / restore from a binary file. Throws std::runtime_error on
-  /// I/O errors or format mismatch.
+  /// I/O errors or format mismatch: load() validates magic, version, counts
+  /// and dimensions, and every read, so a truncated or corrupt file is a
+  /// clear error instead of a garbage store.
   void save(const std::string& path) const;
   static VectorStore load(const std::string& path);
 
- private:
-  /// Insert without re-normalizing (used by load(): stored vectors are
-  /// already unit norm, and renormalizing would drift the last bit).
-  void add_raw(text::Document doc, embed::Vector vec);
+  /// Stream variants: the store blob embeds cleanly inside a larger file
+  /// (rag::Snapshot persistence writes one as its vector section). load()
+  /// consumes exactly the blob and leaves the stream positioned after it.
+  void save(std::ostream& out) const;
+  static VectorStore load(std::istream& in);
 
+ private:
   /// Shared top-k selection over a precomputed score array — the single and
   /// batched searches must agree bit-for-bit, so both call this.
   [[nodiscard]] std::vector<SearchResult> select_top_k(

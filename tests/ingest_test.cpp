@@ -1,0 +1,541 @@
+// Generational KnowledgeBase + live ingestion tests: publish/pin semantics,
+// the Ingestor's delta/upsert/refit lifecycle, the ChatBot curation hook,
+// Snapshot persistence, the end-to-end live-enhancement proof (a fact only
+// present in an ingested document becomes retrievable with no restart), and
+// a swap-under-load stress test. Suite names (KnowledgeBase*, Ingest*,
+// SnapshotPersist*) are part of the scripts/run_tsan.sh filter.
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bots/chat_bot.h"
+#include "bots/mail.h"
+#include "bots/platform.h"
+#include "corpus/generator.h"
+#include "corpus/questions.h"
+#include "history/store.h"
+#include "ingest/ingestor.h"
+#include "llm/model_config.h"
+#include "rag/knowledge_base.h"
+#include "rag/retriever.h"
+#include "rag/workflow.h"
+#include "serve/server.h"
+#include "util/clock.h"
+
+namespace {
+
+using namespace pkb;
+
+// A tiny corpus: enough chunks that a one-document ingest stays under the
+// default refit drift threshold.
+text::VirtualDir small_corpus() {
+  text::VirtualDir tree;
+  for (int i = 0; i < 8; ++i) {
+    std::string body = "# Guide " + std::to_string(i) + "\n\n";
+    for (int p = 0; p < 6; ++p) {
+      body += "Paragraph " + std::to_string(p) + " of guide " +
+              std::to_string(i) +
+              " discusses Krylov solvers, preconditioners, and convergence "
+              "monitoring in enough words to form its own chunk after "
+              "splitting. ";
+      body += "\n\n";
+    }
+    tree.push_back({"guide/g" + std::to_string(i) + ".md", body});
+  }
+  return tree;
+}
+
+// The full generated PETSc corpus, rendered once per process.
+const text::VirtualDir& full_corpus() {
+  static const text::VirtualDir tree = corpus::generate_corpus();
+  return tree;
+}
+
+bool any_chunk_contains(const rag::Snapshot& snap, std::string_view needle) {
+  for (const text::Document& chunk : snap.chunks) {
+    if (chunk.text.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool any_context_contains(const rag::RetrievalResult& result,
+                          std::string_view needle) {
+  for (const auto& ctx : result.contexts) {
+    if (ctx.doc->text.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// --- KnowledgeBase: publish / pin semantics --------------------------------
+
+TEST(KnowledgeBase, BuildIsGenerationOne) {
+  const auto kb = rag::KnowledgeBase::build(small_corpus());
+  EXPECT_EQ(kb.generation(), 1u);
+  const rag::SnapshotPtr snap = kb.snapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->generation, 1u);
+  EXPECT_EQ(snap->embedder_fit_generation, 1u);
+  EXPECT_EQ(snap->chunks_at_fit, snap->chunks.size());
+  EXPECT_EQ(snap->source_count, 8u);
+  EXPECT_GT(snap->chunks.size(), 8u);  // every guide splits into chunks
+  EXPECT_EQ(snap->store.size(), snap->chunks.size());
+}
+
+TEST(KnowledgeBase, PinnedSnapshotSurvivesPublish) {
+  auto kb = rag::KnowledgeBase::build(small_corpus());
+  const rag::SnapshotPtr pinned = kb.snapshot();
+  const std::string first_chunk_text = pinned->chunks.front().text;
+  const text::Document* first_chunk = &pinned->chunks.front();
+
+  ingest::Ingestor ingestor(kb);
+  ASSERT_NE(ingestor.ingest_files({{"guide/new.md", "# New\n\nNew text."}}),
+            nullptr);
+  EXPECT_EQ(kb.generation(), 2u);
+  EXPECT_EQ(kb.snapshot()->generation, 2u);
+
+  // The pinned generation is untouched: same pointer targets, same content.
+  EXPECT_EQ(pinned->generation, 1u);
+  EXPECT_EQ(&pinned->chunks.front(), first_chunk);
+  EXPECT_EQ(first_chunk->text, first_chunk_text);
+}
+
+TEST(KnowledgeBase, PublishRequiresIncreasingGeneration) {
+  auto kb = rag::KnowledgeBase::build(small_corpus());
+  auto stale = std::make_shared<rag::Snapshot>(*kb.snapshot());
+  // Same generation id as current → rejected.
+  EXPECT_THROW((void)kb.publish(stale), std::logic_error);
+  auto next = std::make_shared<rag::Snapshot>(*kb.snapshot());
+  next->generation = 2;
+  const double swap_seconds = kb.publish(next);
+  EXPECT_GE(swap_seconds, 0.0);
+  EXPECT_LT(swap_seconds, 1.0);
+  EXPECT_EQ(kb.generation(), 2u);
+}
+
+TEST(KnowledgeBase, AdoptLoadedSnapshotConstructor) {
+  auto built = rag::KnowledgeBase::build(small_corpus());
+  rag::KnowledgeBase adopted(built.snapshot());
+  EXPECT_EQ(adopted.generation(), 1u);
+  EXPECT_EQ(adopted.chunks().size(), built.chunks().size());
+}
+
+// --- Ingestor: delta merge, upsert, refit, Q&A, vetted history -------------
+
+TEST(Ingest, EmptyIngestIsANoOp) {
+  auto kb = rag::KnowledgeBase::build(small_corpus());
+  ingest::Ingestor ingestor(kb);
+  EXPECT_EQ(ingestor.ingest_files({}), nullptr);
+  EXPECT_EQ(kb.generation(), 1u);
+  EXPECT_EQ(ingestor.stats().builds, 0u);
+}
+
+TEST(Ingest, DeltaBuildReusesEmbedderAndKeepsVectorsBitExact) {
+  auto kb = rag::KnowledgeBase::build(small_corpus());
+  const rag::SnapshotPtr base = kb.snapshot();
+  ingest::Ingestor ingestor(kb);
+
+  const rag::SnapshotPtr next = ingestor.ingest_files(
+      {{"guide/delta.md", "# Delta\n\nOne small new document."}});
+  ASSERT_NE(next, nullptr);
+  EXPECT_EQ(next->generation, 2u);
+
+  // One small doc against 8 guides is under the refit threshold: the
+  // embedder object is shared and the fit markers still point at gen 1.
+  EXPECT_EQ(ingestor.stats().refits, 0u);
+  EXPECT_EQ(next->embedder.get(), base->embedder.get());
+  EXPECT_EQ(next->embedder_fit_generation, 1u);
+  EXPECT_EQ(next->chunks_at_fit, base->chunks_at_fit);
+  EXPECT_EQ(next->source_count, base->source_count + 1);
+
+  // Retained chunks keep bit-identical vectors (copied, not re-embedded).
+  ASSERT_GE(next->store.size(), base->store.size());
+  for (std::size_t i = 0; i < base->store.size(); ++i) {
+    EXPECT_EQ(next->store.doc(i).id, base->store.doc(i).id);
+    EXPECT_EQ(next->store.vec(i), base->store.vec(i));
+  }
+  // Invariant: store row i embeds chunks[i].
+  ASSERT_EQ(next->store.size(), next->chunks.size());
+  for (std::size_t i = 0; i < next->chunks.size(); ++i) {
+    EXPECT_EQ(next->store.doc(i).id, next->chunks[i].id);
+  }
+}
+
+TEST(Ingest, ReingestingASourceReplacesItsChunks) {
+  auto kb = rag::KnowledgeBase::build(small_corpus());
+  ingest::Ingestor ingestor(kb);
+
+  ASSERT_NE(ingestor.ingest_files({{"guide/topic.md",
+                                    "# Topic\n\nOLDMARKER content v1."}}),
+            nullptr);
+  const rag::SnapshotPtr v1 = kb.snapshot();
+  EXPECT_TRUE(any_chunk_contains(*v1, "OLDMARKER"));
+
+  ASSERT_NE(ingestor.ingest_files({{"guide/topic.md",
+                                    "# Topic\n\nNEWMARKER content v2."}}),
+            nullptr);
+  const rag::SnapshotPtr v2 = kb.snapshot();
+  EXPECT_EQ(v2->generation, 3u);
+  EXPECT_TRUE(any_chunk_contains(*v2, "NEWMARKER"));
+  EXPECT_FALSE(any_chunk_contains(*v2, "OLDMARKER"));
+  // Upsert, not append: the source count is unchanged by the update.
+  EXPECT_EQ(v2->source_count, v1->source_count);
+}
+
+TEST(Ingest, LargeIngestTriggersRefit) {
+  auto kb = rag::KnowledgeBase::build(small_corpus());
+  const rag::SnapshotPtr base = kb.snapshot();
+  ingest::Ingestor ingestor(kb);
+
+  // Ingest as many documents as the whole base corpus: far past the default
+  // 25% drift threshold.
+  text::VirtualDir batch;
+  for (int i = 0; i < 8; ++i) {
+    std::string body = "# Extra " + std::to_string(i) + "\n\n";
+    for (int p = 0; p < 6; ++p) {
+      body += "Fresh paragraph " + std::to_string(p) +
+              " with plenty of new vocabulary about nonlinear solvers and "
+              "time integrators so the refit actually changes the fit. \n\n";
+    }
+    batch.push_back({"extra/e" + std::to_string(i) + ".md", body});
+  }
+  const rag::SnapshotPtr next = ingestor.ingest_files(batch);
+  ASSERT_NE(next, nullptr);
+
+  EXPECT_EQ(ingestor.stats().refits, 1u);
+  EXPECT_NE(next->embedder.get(), base->embedder.get());
+  EXPECT_EQ(next->embedder_fit_generation, next->generation);
+  EXPECT_EQ(next->chunks_at_fit, next->chunks.size());
+  // Re-embedded store still upholds the row invariant.
+  ASSERT_EQ(next->store.size(), next->chunks.size());
+}
+
+TEST(Ingest, QaExchangeBecomesARetrievableDocument) {
+  auto kb = rag::KnowledgeBase::build(small_corpus());
+  ingest::Ingestor ingestor(kb);
+
+  const rag::SnapshotPtr next = ingestor.ingest_qa(
+      "resolved/thread-7.md", "Convergence of KSPWHIRL",
+      "Why does KSPWHIRL stagnate on my Poisson problem?",
+      "KSPWHIRL needs a stronger preconditioner; try PCGAMG.");
+  ASSERT_NE(next, nullptr);
+  EXPECT_TRUE(any_chunk_contains(*next, "KSPWHIRL"));
+  bool found_source = false;
+  for (const text::Document& chunk : next->chunks) {
+    if (chunk.meta("source") == "resolved/thread-7.md") found_source = true;
+  }
+  EXPECT_TRUE(found_source);
+}
+
+TEST(Ingest, VettedHistorySelectsScoredAndTrustedRecordsOnce) {
+  auto kb = rag::KnowledgeBase::build(small_corpus());
+  ingest::Ingestor ingestor(kb);
+
+  history::HistoryStore store;
+  history::InteractionRecord good;
+  good.question = "How do I monitor residuals?";
+  good.response = "Use GOODANSWER -ksp_monitor.";
+  good.model = "sim-gpt-4o";
+  const auto good_id = store.add(good);
+  store.record_score(good_id, {"barry", 4, ""});
+
+  history::InteractionRecord bad;
+  bad.question = "What about BADANSWER?";
+  bad.response = "BADANSWER hallucinated text.";
+  bad.model = "sim-gpt-4o";
+  store.record_score(store.add(bad), {"barry", 1, ""});
+
+  history::InteractionRecord human;
+  human.question = "Human wisdom?";
+  human.response = "HUMANANSWER from a developer.";
+  human.model = "";  // human-authored, unscored
+  store.add(human);
+
+  history::InteractionRecord empty;
+  empty.question = "Unanswered?";
+  empty.response = "";
+  store.add(empty);
+
+  const rag::SnapshotPtr next = ingestor.ingest_vetted_history(store);
+  ASSERT_NE(next, nullptr);
+  EXPECT_TRUE(any_chunk_contains(*next, "GOODANSWER"));
+  EXPECT_TRUE(any_chunk_contains(*next, "HUMANANSWER"));
+  EXPECT_FALSE(any_chunk_contains(*next, "BADANSWER"));
+
+  // Already-ingested records do not build another generation.
+  EXPECT_EQ(ingestor.ingest_vetted_history(store), nullptr);
+  EXPECT_EQ(kb.generation(), 2u);
+
+  // A newly vetted record does.
+  history::InteractionRecord late;
+  late.question = "Late question?";
+  late.response = "LATEANSWER now vetted.";
+  late.model = "sim-gpt-4o";
+  store.record_score(store.add(late), {"jed", 4, ""});
+  const rag::SnapshotPtr gen3 = ingestor.ingest_vetted_history(store);
+  ASSERT_NE(gen3, nullptr);
+  EXPECT_TRUE(any_chunk_contains(*gen3, "LATEANSWER"));
+}
+
+// --- ChatBot: the Fig-5 curation loop --------------------------------------
+
+TEST(Ingest, ChatBotSendIngestsTheResolvedThread) {
+  auto kb = rag::KnowledgeBase::build(full_corpus());
+  rag::AugmentedWorkflow workflow(kb, rag::PipelineArm::RagRerank,
+                                  llm::model_config("sim-gpt-4o"));
+  ingest::Ingestor ingestor(kb);
+
+  util::SimClock clock;
+  bots::DiscordServer server(&clock);
+  server.create_channel("petsc-users-emails", bots::ChannelKind::Forum, true);
+  server.join("barry", /*is_developer=*/true);
+  bots::MailingList list("petsc-users@mcs.anl.gov", &clock);
+
+  bots::ChatBot bot(&workflow, &server, &list, "petsc-users-emails",
+                    "petscbot@gmail.com");
+  bot.attach_ingestor(&ingestor);
+
+  const std::uint64_t post_id =
+      server.create_post("petsc-users-emails", "rectangular systems");
+  server.add_to_post("petsc-users-emails", post_id, "user@univ.edu",
+                     "Can I use KSP to solve a rectangular system?");
+
+  const auto draft_id = bot.handle_reply_command(post_id, "barry");
+  ASSERT_TRUE(draft_id.has_value());
+  EXPECT_EQ(kb.generation(), 1u);  // drafting alone ingests nothing
+
+  ASSERT_EQ(bot.press_send(*draft_id, "barry"), bots::ButtonResult::Ok);
+  EXPECT_EQ(bot.threads_ingested(), 1u);
+  EXPECT_EQ(kb.generation(), 2u);
+  // The resolved thread is now a corpus document.
+  const rag::SnapshotPtr snap = kb.snapshot();
+  bool found = false;
+  for (const text::Document& chunk : snap->chunks) {
+    if (chunk.meta("source") ==
+        "resolved/thread-" + std::to_string(post_id) + ".md") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // Discard never ingests: safety invariant is send-only.
+  EXPECT_EQ(ingestor.stats().builds, 1u);
+}
+
+// --- Snapshot persistence ---------------------------------------------------
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(SnapshotPersist, RoundTripIsRetrievalIdentical) {
+  auto kb = rag::KnowledgeBase::build(small_corpus());
+  const rag::SnapshotPtr orig = kb.snapshot();
+  const std::string path = temp_path("pkb_snapshot_rt.bin");
+  orig->save(path);
+  const rag::SnapshotPtr loaded = rag::Snapshot::load(path);
+  std::filesystem::remove(path);
+
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->generation, orig->generation);
+  EXPECT_EQ(loaded->source_count, orig->source_count);
+  EXPECT_EQ(loaded->embedder_fit_generation, orig->embedder_fit_generation);
+  ASSERT_EQ(loaded->chunks.size(), orig->chunks.size());
+  for (std::size_t i = 0; i < orig->chunks.size(); ++i) {
+    EXPECT_EQ(loaded->chunks[i], orig->chunks[i]);
+  }
+  // Fit-consistent snapshot: stored vectors survive bit-exactly.
+  ASSERT_EQ(loaded->store.size(), orig->store.size());
+  for (std::size_t i = 0; i < orig->store.size(); ++i) {
+    EXPECT_EQ(loaded->store.vec(i), orig->store.vec(i));
+  }
+
+  // A retrieval against the loaded snapshot matches one against the
+  // original, content for content.
+  rag::KnowledgeBase reloaded(loaded);
+  rag::Retriever r_orig(kb), r_loaded(reloaded);
+  const auto a = r_orig.retrieve("How do I monitor Krylov convergence?");
+  const auto b = r_loaded.retrieve("How do I monitor Krylov convergence?");
+  ASSERT_EQ(a.contexts.size(), b.contexts.size());
+  for (std::size_t i = 0; i < a.contexts.size(); ++i) {
+    EXPECT_EQ(a.contexts[i].doc->id, b.contexts[i].doc->id);
+    EXPECT_DOUBLE_EQ(a.contexts[i].score, b.contexts[i].score);
+  }
+}
+
+TEST(SnapshotPersist, DeltaGenerationReloadsAsItsOwnFit) {
+  auto kb = rag::KnowledgeBase::build(small_corpus());
+  ingest::Ingestor ingestor(kb);
+  const rag::SnapshotPtr delta = ingestor.ingest_files(
+      {{"guide/delta.md", "# Delta\n\nPERSISTMARKER paragraph."}});
+  ASSERT_NE(delta, nullptr);
+  ASSERT_LT(delta->embedder_fit_generation, delta->generation);
+
+  const std::string path = temp_path("pkb_snapshot_delta.bin");
+  delta->save(path);
+  const rag::SnapshotPtr loaded = rag::Snapshot::load(path);
+  std::filesystem::remove(path);
+
+  // The delta's fit corpus (gen-1 chunks) is not in the file, so the load
+  // refits on its own chunk list and re-embeds.
+  EXPECT_EQ(loaded->generation, delta->generation);
+  EXPECT_EQ(loaded->embedder_fit_generation, loaded->generation);
+  ASSERT_EQ(loaded->chunks.size(), delta->chunks.size());
+  EXPECT_TRUE(any_chunk_contains(*loaded, "PERSISTMARKER"));
+  // Still a coherent store (row invariant), usable for retrieval.
+  ASSERT_EQ(loaded->store.size(), loaded->chunks.size());
+  rag::KnowledgeBase reloaded(loaded);
+  rag::Retriever r(reloaded);
+  EXPECT_FALSE(r.retrieve("PERSISTMARKER paragraph").contexts.empty());
+}
+
+TEST(SnapshotPersist, RejectsMissingGarbageAndTruncatedFiles) {
+  EXPECT_THROW((void)rag::Snapshot::load("/nonexistent/snap.bin"),
+               std::runtime_error);
+
+  const std::string garbage = temp_path("pkb_snapshot_garbage.bin");
+  {
+    std::ofstream out(garbage, std::ios::binary);
+    out << "definitely not a snapshot";
+  }
+  EXPECT_THROW((void)rag::Snapshot::load(garbage), std::runtime_error);
+  std::filesystem::remove(garbage);
+
+  // Truncate a real snapshot at several prefixes: every cut must throw.
+  auto kb = rag::KnowledgeBase::build(small_corpus());
+  const std::string path = temp_path("pkb_snapshot_trunc.bin");
+  kb.snapshot()->save(path);
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  for (std::size_t len :
+       {std::size_t{3}, std::size_t{16}, bytes.size() / 4, bytes.size() / 2,
+        bytes.size() - 1}) {
+    ASSERT_LT(len, bytes.size());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(len));
+    out.close();
+    EXPECT_THROW((void)rag::Snapshot::load(path), std::runtime_error)
+        << "prefix length " << len;
+  }
+  std::filesystem::remove(path);
+}
+
+// --- E2E: live enhancement through a running server -------------------------
+
+TEST(Ingest, LiveEnhancementWithoutRestart) {
+  auto kb = rag::KnowledgeBase::build(full_corpus());
+  rag::AugmentedWorkflow workflow(kb, rag::PipelineArm::RagRerank,
+                                  llm::model_config("sim-gpt-4o"));
+  serve::ServerOptions opts;
+  opts.workers = 2;
+  serve::Server server(workflow, opts);
+  // A brand-new solver name is out-of-vocabulary for the gen-1 embedder, so
+  // this ingestor refits on every build (threshold 0) — the configuration
+  // for corpora whose ingests carry novel terminology.
+  ingest::IngestorOptions ingest_opts;
+  ingest_opts.refit_drift_threshold = 0.0;
+  ingest::Ingestor ingestor(kb, ingest_opts);
+
+  // KSPBurb is the paper's fictitious §V-B solver: by construction no
+  // generated document mentions it.
+  const std::string question = corpus::kspburb_question().question;
+  ASSERT_FALSE(any_chunk_contains(*kb.snapshot(), "KSPBurb"));
+
+  const auto before = server.ask(question);
+  EXPECT_EQ(before.generation, 1u);
+  EXPECT_FALSE(any_context_contains(before.retrieval, "KSPBurb"));
+
+  // Somebody documents the solver; the ingestor publishes generation 2
+  // while the server keeps running.
+  ASSERT_NE(ingestor.ingest_files(
+                {{"manualpages/KSP/KSPBurb.md",
+                  "# KSPBurb\n\nKSPBurb is a pipelined biconjugate gradient "
+                  "variant. KSPBurb is selected with -ksp_type burb; KSPBurb "
+                  "pairs well with PCJACOBI for well-conditioned systems.\n"}}),
+            nullptr);
+  EXPECT_EQ(kb.generation(), 2u);
+
+  // Same server, same question: the cached gen-1 answer is detected stale,
+  // the pipeline reruns on the new generation, and the new document is
+  // retrieved. No restart happened.
+  const auto after = server.ask(question);
+  EXPECT_EQ(after.generation, 2u);
+  EXPECT_TRUE(any_context_contains(after.retrieval, "KSPBurb"));
+  // And the recomputed answer replaced the stale cache entry: a repeat is a
+  // fresh-generation cache hit with the same content.
+  const auto repeat = server.ask(question);
+  EXPECT_EQ(repeat.generation, 2u);
+  EXPECT_EQ(repeat.response.text, after.response.text);
+}
+
+// --- Stress: publishes racing a serving fleet -------------------------------
+
+TEST(IngestStress, SwapUnderServingLoad) {
+  auto kb = rag::KnowledgeBase::build(full_corpus());
+  rag::AugmentedWorkflow workflow(kb, rag::PipelineArm::RagRerank,
+                                  llm::model_config("sim-gpt-4o"));
+  serve::ServerOptions opts;
+  opts.workers = 4;
+  opts.answer_cache_capacity = 64;
+  serve::Server server(workflow, opts);
+  ingest::Ingestor ingestor(kb);
+
+  constexpr int kGenerations = 6;
+  constexpr int kClients = 4;
+  constexpr int kAsksPerClient = 24;
+
+  const auto& bench = corpus::krylov_benchmark();
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kAsksPerClient; ++i) {
+        const auto& q =
+            bench[(c * kAsksPerClient + i) % bench.size()].question;
+        const rag::WorkflowOutcome out = server.ask(q);
+        // Never torn: the outcome is internally consistent — its stamped
+        // generation is exactly its pinned snapshot's, every context points
+        // into that snapshot, and the generation is one that existed.
+        if (out.generation != out.retrieval.generation() ||
+            out.generation < 1 ||
+            out.generation > 1 + static_cast<std::uint64_t>(kGenerations) ||
+            out.response.text.empty()) {
+          failed.store(true);
+        }
+        for (const auto& ctx : out.retrieval.contexts) {
+          if (ctx.doc == nullptr || ctx.doc->text.empty()) failed.store(true);
+        }
+      }
+    });
+  }
+
+  for (int g = 0; g < kGenerations; ++g) {
+    ASSERT_NE(ingestor.ingest_files(
+                  {{"stress/doc" + std::to_string(g) + ".md",
+                    "# Stress " + std::to_string(g) +
+                        "\n\nStress document number " + std::to_string(g) +
+                        " for the swap-under-load test.\n"}}),
+              nullptr);
+  }
+
+  for (auto& t : clients) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(kb.generation(), 1u + kGenerations);
+  EXPECT_EQ(ingestor.swap_history().size(), static_cast<std::size_t>(kGenerations));
+  for (double s : ingestor.swap_history()) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LT(s, 0.1);  // a swap is a pointer exchange, not a rebuild
+  }
+}
+
+}  // namespace

@@ -184,6 +184,81 @@ TEST(VectorStore, LoadRejectsGarbage) {
   fs::remove(path);
 }
 
+// --- load() hardening: every malformed prefix is a clear error, never a
+// silently corrupt store. The serialized bytes come from a real save() so
+// each test corrupts exactly one aspect.
+
+std::string store_bytes(const VectorStore& store) {
+  std::ostringstream out(std::ios::binary);
+  store.save(out);
+  return out.str();
+}
+
+VectorStore load_bytes(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  return VectorStore::load(in);
+}
+
+TEST(VectorStoreHardening, StreamRoundTripIsBitExact) {
+  const VectorStore store = random_store(7, 5, 11);
+  const VectorStore loaded = load_bytes(store_bytes(store));
+  ASSERT_EQ(loaded.size(), store.size());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    EXPECT_EQ(loaded.doc(i).id, store.doc(i).id);
+    EXPECT_EQ(loaded.vec(i), store.vec(i));  // bit-exact floats
+  }
+}
+
+TEST(VectorStoreHardening, RejectsBadMagic) {
+  std::string bytes = store_bytes(random_store(3, 4, 12));
+  bytes[0] = 'X';
+  EXPECT_THROW((void)load_bytes(bytes), std::runtime_error);
+}
+
+TEST(VectorStoreHardening, RejectsUnsupportedVersion) {
+  std::string bytes = store_bytes(random_store(3, 4, 12));
+  bytes[4] = 0x7F;  // u32 version little-endian low byte
+  EXPECT_THROW((void)load_bytes(bytes), std::runtime_error);
+}
+
+TEST(VectorStoreHardening, RejectsImplausibleCount) {
+  std::string bytes = store_bytes(random_store(3, 4, 12));
+  // u64 count sits after magic (4) + version (4); make it absurd.
+  for (int i = 0; i < 8; ++i) bytes[8 + i] = static_cast<char>(0xFF);
+  EXPECT_THROW((void)load_bytes(bytes), std::runtime_error);
+}
+
+TEST(VectorStoreHardening, RejectsZeroDimensionWithEntries) {
+  std::string bytes = store_bytes(random_store(3, 4, 12));
+  // u64 dim sits after magic (4) + version (4) + count (8).
+  for (int i = 0; i < 8; ++i) bytes[16 + i] = 0;
+  EXPECT_THROW((void)load_bytes(bytes), std::runtime_error);
+}
+
+TEST(VectorStoreHardening, RejectsTruncationAtEveryPrefix) {
+  const std::string bytes = store_bytes(random_store(4, 3, 13));
+  // Any strict prefix must throw, whether it cuts a header field, a
+  // string, or the float payload.
+  for (std::size_t len : {std::size_t{2}, std::size_t{6}, std::size_t{12},
+                          std::size_t{20}, std::size_t{30},
+                          bytes.size() / 2, bytes.size() - 1}) {
+    ASSERT_LT(len, bytes.size());
+    EXPECT_THROW((void)load_bytes(bytes.substr(0, len)), std::runtime_error)
+        << "prefix length " << len;
+  }
+}
+
+TEST(VectorStoreHardening, AddPrenormalizedKeepsVectorBitIdentical) {
+  VectorStore store;
+  store.add({"a", "", {}}, {3.0f, 4.0f});
+  VectorStore copy;
+  copy.add_prenormalized(store.doc(0), store.vec(0));
+  EXPECT_EQ(copy.vec(0), store.vec(0));
+  // Dimension checks still apply on the prenormalized path.
+  EXPECT_THROW(copy.add_prenormalized({"b", "", {}}, {1.0f, 0.0f, 0.0f}),
+               std::invalid_argument);
+}
+
 TEST(Ivf, EmptyStoreThrows) {
   VectorStore store;
   EXPECT_THROW(IvfIndex(store, {}), std::invalid_argument);
