@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Bench smoke: run the serving-layer benches at tiny parameters and validate
+# that each report contains its contract keys. This is not a performance
+# gate — it proves the bench binaries still run end to end and still emit
+# the JSON shape dashboards consume (chaos_serve additionally enforces its
+# own service-level gate and exits nonzero when it fails). Wired into CI
+# and scripts/check_all.sh; run standalone from anywhere:
+#
+#   scripts/bench_smoke.sh [build-dir] [report-dir]
+#
+# The build dir defaults to build/ and must already contain the bench
+# binaries (cmake --build build). Reports land in report-dir when given
+# (kept, e.g. for CI artifact upload), otherwise in a temp dir that is
+# removed on exit.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+if [[ $# -ge 2 ]]; then
+  out_dir="$2"
+  mkdir -p "$out_dir"
+else
+  out_dir="$(mktemp -d)"
+  trap 'rm -rf "$out_dir"' EXIT
+fi
+
+require_keys() {
+  local file="$1"
+  shift
+  local key
+  for key in "$@"; do
+    if ! grep -q "\"$key\"" "$file"; then
+      echo "bench_smoke: $(basename "$file") is missing key \"$key\"" >&2
+      exit 1
+    fi
+  done
+}
+
+run() {
+  local name="$1"
+  shift
+  if [[ ! -x "$build_dir/bench/$name" ]]; then
+    echo "bench_smoke: $build_dir/bench/$name not built" >&2
+    exit 1
+  fi
+  echo "== bench_smoke: $name =="
+  "$build_dir/bench/$name" "$@"
+}
+
+run serve_throughput --workers 2 --requests 24 \
+  --output "$out_dir/BENCH_serve.json"
+require_keys "$out_dir/BENCH_serve.json" \
+  config scaling caching workers_1 workers_n speedup qps p99_seconds
+
+run ingest_swap --generations 2 --docs-per-gen 2 --workers 2 --requests 24 \
+  --output "$out_dir/BENCH_ingest.json"
+require_keys "$out_dir/BENCH_ingest.json" \
+  config steady_state during_ingestion qps_ratio swap p99_seconds ingest
+
+run chaos_serve --workers 2 --requests 24 \
+  --output "$out_dir/BENCH_chaos.json"
+require_keys "$out_dir/BENCH_chaos.json" \
+  config clean chaos faults_injected answered_rate degradation_rate \
+  deadline_violations qps p99_seconds budget_spent_max_seconds
+
+echo "bench_smoke: OK"

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # One entry point for the full local verification matrix:
 #
-#   1. plain build + ctest (tier-1, what CI runs)
-#   2. ThreadSanitizer over the concurrency-heavy suites (run_tsan.sh)
-#   3. AddressSanitizer over the full suite (run_asan.sh)
+#   1. plain build + ctest (tier-1, what CI runs — includes the chaos and
+#      resilience suites and the check_docs contract test)
+#   2. bench smoke: tiny serve/ingest/chaos bench runs with JSON-shape and
+#      chaos service-level gates (bench_smoke.sh)
+#   3. ThreadSanitizer over the concurrency-heavy suites (run_tsan.sh)
+#   4. AddressSanitizer over the full suite (run_asan.sh)
 #
 # Usage, from anywhere:  scripts/check_all.sh
 set -euo pipefail
@@ -14,6 +17,9 @@ echo "== check_all: plain build + ctest =="
 cmake -B "$repo_root/build" -S "$repo_root"
 cmake --build "$repo_root/build" -j "$(nproc)"
 ctest --test-dir "$repo_root/build" --output-on-failure -j "$(nproc)"
+
+echo "== check_all: bench smoke =="
+"$repo_root/scripts/bench_smoke.sh" "$repo_root/build"
 
 echo "== check_all: ThreadSanitizer =="
 "$repo_root/scripts/run_tsan.sh"

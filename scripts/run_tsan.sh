@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Build with ThreadSanitizer (-DPKB_SANITIZE=thread) and run the
 # concurrency-heavy tests: the serving layer, history store, observability
-# registry, and thread-pool suites. Usage, from anywhere:
+# registry, thread-pool, and resilience/chaos suites. Usage, from anywhere:
 #
 #   scripts/run_tsan.sh [extra gtest filter]
 #
@@ -13,7 +13,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="$repo_root/build-tsan"
 
-filter="ServeServer*:BoundedQueue*:ShardedLruCache*:HistoryStore*:Metrics*:Tracer*:ThreadPool*:SimClock*:KnowledgeBase*:Ingest*:SnapshotPersist*"
+filter="ServeServer*:BoundedQueue*:ShardedLruCache*:HistoryStore*:Metrics*:Tracer*:ThreadPool*:SimClock*:KnowledgeBase*:Ingest*:SnapshotPersist*:Resilience*:FaultPlan*:CircuitBreaker*:Chaos*:SimClockWait*"
 if [[ $# -ge 1 ]]; then
   filter="$filter:$1"
 fi

@@ -59,6 +59,38 @@ rag::SnapshotPtr Ingestor::ingest_vetted_history(
 rag::SnapshotPtr Ingestor::build_and_publish_locked(
     const text::VirtualDir& files) {
   obs::MetricsRegistry& metrics = obs::global_metrics();
+
+  // Chaos gate: a transient fault earns one immediate retry; a permanent or
+  // timeout fault aborts this build — readers keep the base generation.
+  if (fault_plan_ != nullptr) {
+    const auto abort_build = [this](const char* reason) -> rag::SnapshotPtr {
+      obs::global_metrics()
+          .counter(obs::kResilienceIngestAbortsTotal, {{"reason", reason}})
+          .inc();
+      stats_.aborted_builds += 1;
+      PKB_LOG(Warn, "ingest")
+          << "build aborted (" << reason << " fault); base generation kept";
+      return nullptr;
+    };
+    bool retried = false;
+    for (;;) {
+      try {
+        resilience::consult(fault_plan_, resilience::Stage::Ingest);
+        break;
+      } catch (const resilience::TransientError&) {
+        if (!retried) {
+          retried = true;
+          continue;
+        }
+        return abort_build("transient");
+      } catch (const resilience::TimeoutError&) {
+        return abort_build("timeout");
+      } catch (const resilience::PermanentError&) {
+        return abort_build("permanent");
+      }
+    }
+  }
+
   const rag::SnapshotPtr base = kb_.snapshot();
 
   obs::Span span(obs::global_tracer(), obs::kSpanIngestBuild);

@@ -31,6 +31,7 @@
 
 #include "history/store.h"
 #include "rag/knowledge_base.h"
+#include "resilience/fault_plan.h"
 
 namespace pkb::ingest {
 
@@ -51,6 +52,7 @@ struct IngestStats {
   std::uint64_t docs = 0;          ///< source documents ingested
   std::uint64_t chunks_added = 0;  ///< new chunks embedded
   std::uint64_t refits = 0;        ///< builds that refitted the embedder
+  std::uint64_t aborted_builds = 0;  ///< builds lost to injected faults
 };
 
 /// Builds and publishes knowledge-base generations. All entry points are
@@ -83,6 +85,16 @@ class Ingestor {
   /// order (what bench/ingest_swap summarizes).
   [[nodiscard]] std::vector<double> swap_history() const;
 
+  /// Attach a chaos plan (Stage::Ingest). A transient fault earns the build
+  /// one immediate retry; a permanent or timeout fault aborts the build —
+  /// the base generation stays published and the entry point returns
+  /// nullptr (counted in stats().aborted_builds and
+  /// pkb_resilience_ingest_aborts_total). Setup-time only; the plan must
+  /// outlive the ingestor.
+  void set_fault_plan(const resilience::FaultPlan* plan) {
+    fault_plan_ = plan;
+  }
+
   [[nodiscard]] const rag::KnowledgeBase& kb() const { return kb_; }
   [[nodiscard]] const IngestorOptions& options() const { return opts_; }
 
@@ -93,6 +105,7 @@ class Ingestor {
 
   rag::KnowledgeBase& kb_;
   IngestorOptions opts_;
+  const resilience::FaultPlan* fault_plan_ = nullptr;
   mutable std::mutex mu_;  ///< serializes builds and guards the state below
   IngestStats stats_;
   std::vector<double> swap_seconds_;

@@ -359,6 +359,11 @@ LlmResponse SimLlm::complete(const LlmRequest& request) const {
   obs::Span span(obs::global_tracer(), obs::kSpanLlm);
   span.set_attr("model", config_.name);
 
+  // Chaos hook: throws for injected error/timeout decisions, returns extra
+  // virtual latency for a spike (added to the latency model below).
+  const double spike_seconds =
+      pkb::resilience::consult(fault_plan_, pkb::resilience::Stage::Llm);
+
   Rng rng(pkb::util::seed_from(request.question, config_.seed));
 
   Draft draft = request.contexts.empty() ? answer_parametric(request, rng)
@@ -399,7 +404,8 @@ LlmResponse SimLlm::complete(const LlmRequest& request) const {
   const double jitter =
       std::exp(rng.uniform(-jitter_span, jitter_span));
   resp.latency_seconds =
-      (config_.latency_base_seconds + prefill + decode) * jitter;
+      (config_.latency_base_seconds + prefill + decode) * jitter +
+      spike_seconds;
 
   span.set_attr("mode", resp.mode);
   span.set_attr("prompt_tokens", resp.prompt_tokens);

@@ -19,6 +19,7 @@
 
 #include "llm/model_config.h"
 #include "llm/types.h"
+#include "resilience/fault_plan.h"
 #include "util/rng.h"
 
 namespace pkb::llm {
@@ -31,6 +32,14 @@ class SimLlm {
   static SimLlm from_name(std::string_view name);
 
   [[nodiscard]] const LlmConfig& config() const { return config_; }
+
+  /// Attach a chaos plan consulted (Stage::Llm) at each complete() entry:
+  /// error decisions throw the matching resilience::FaultError, latency
+  /// spikes inflate the response's simulated latency. Pass nullptr to
+  /// detach. Setup-time only — must not race in-flight complete() calls.
+  void set_fault_plan(const pkb::resilience::FaultPlan* plan) {
+    fault_plan_ = plan;
+  }
 
   /// Run one completion.
   [[nodiscard]] LlmResponse complete(const LlmRequest& request) const;
@@ -48,6 +57,7 @@ class SimLlm {
                                         pkb::util::Rng& rng) const;
 
   LlmConfig config_;
+  const pkb::resilience::FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace pkb::llm

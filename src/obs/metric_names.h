@@ -67,6 +67,24 @@ inline constexpr std::string_view kIngestChunksTotal =
     "pkb_ingest_chunks_total";
 inline constexpr std::string_view kIngestRefitsTotal =
     "pkb_ingest_refits_total";
+inline constexpr std::string_view kResilienceFaultsInjectedTotal =
+    "pkb_resilience_faults_injected_total";
+inline constexpr std::string_view kResilienceRetriesTotal =
+    "pkb_resilience_retries_total";
+inline constexpr std::string_view kResilienceHedgesTotal =
+    "pkb_resilience_hedges_total";
+inline constexpr std::string_view kResilienceHedgeWinsTotal =
+    "pkb_resilience_hedge_wins_total";
+inline constexpr std::string_view kResilienceBreakerTransitionsTotal =
+    "pkb_resilience_breaker_transitions_total";
+inline constexpr std::string_view kResilienceBreakerShortCircuitsTotal =
+    "pkb_resilience_breaker_short_circuits_total";
+inline constexpr std::string_view kResilienceDegradedTotal =
+    "pkb_resilience_degraded_total";
+inline constexpr std::string_view kResilienceDeadlineExceededTotal =
+    "pkb_resilience_deadline_exceeded_total";
+inline constexpr std::string_view kResilienceIngestAbortsTotal =
+    "pkb_resilience_ingest_aborts_total";
 
 // --- gauges ---------------------------------------------------------------
 inline constexpr std::string_view kVectordbEntries = "pkb_vectordb_entries";
@@ -76,6 +94,8 @@ inline constexpr std::string_view kServeWorkers = "pkb_serve_workers";
 inline constexpr std::string_view kServeInflight = "pkb_serve_inflight";
 inline constexpr std::string_view kKbGeneration = "pkb_kb_generation";
 inline constexpr std::string_view kKbChunks = "pkb_kb_chunks";
+inline constexpr std::string_view kResilienceBreakerState =
+    "pkb_resilience_breaker_state";
 
 // --- histograms (seconds) -------------------------------------------------
 inline constexpr std::string_view kWorkflowAskSeconds =
@@ -105,6 +125,10 @@ inline constexpr std::string_view kServePipelineSeconds =
 inline constexpr std::string_view kKbSwapSeconds = "pkb_kb_swap_seconds";
 inline constexpr std::string_view kIngestBuildSeconds =
     "pkb_ingest_build_seconds";
+inline constexpr std::string_view kResilienceBudgetSpentSeconds =
+    "pkb_resilience_budget_spent_seconds";
+inline constexpr std::string_view kResilienceBackoffSeconds =
+    "pkb_resilience_backoff_seconds";
 
 // --- span names -----------------------------------------------------------
 inline constexpr std::string_view kSpanAsk = "ask";
@@ -124,5 +148,9 @@ inline constexpr std::string_view kSpanVectorSearchBatch =
     "vector_search_batch";
 inline constexpr std::string_view kSpanIngestBuild = "ingest_build";
 inline constexpr std::string_view kSpanKbSwap = "kb_swap";
+inline constexpr std::string_view kSpanRetry = "retry";
+inline constexpr std::string_view kSpanHedge = "hedge";
+inline constexpr std::string_view kSpanBreakerState = "breaker_state";
+inline constexpr std::string_view kSpanDegradedAnswer = "degraded_answer";
 
 }  // namespace pkb::obs

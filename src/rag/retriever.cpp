@@ -35,6 +35,14 @@ Retriever::Retriever(const KnowledgeBase& kb, RetrieverOptions opts)
   }
 }
 
+void Retriever::set_fault_plan(const pkb::resilience::FaultPlan* plan,
+                               std::uint32_t search_hedges) {
+  fault_plan_ = plan;
+  search_hedges_ = search_hedges;
+  std::lock_guard<std::mutex> lock(rerank_mu_);
+  if (reranker_ != nullptr) reranker_->set_fault_plan(plan);
+}
+
 std::shared_ptr<const rerank::Reranker> Retriever::reranker_for(
     const Snapshot& snap) const {
   if (opts_.reranker.empty()) return nullptr;
@@ -43,10 +51,38 @@ std::shared_ptr<const rerank::Reranker> Retriever::reranker_for(
     std::unique_ptr<rerank::Reranker> reranker =
         rerank::make_reranker(opts_.reranker);
     reranker->fit(snap.chunks);
+    reranker->set_fault_plan(fault_plan_);
     reranker_ = std::move(reranker);
     reranker_generation_ = snap.generation;
   }
   return reranker_;
+}
+
+template <typename SearchFn>
+auto Retriever::search_with_hedge(SearchFn&& search) const
+    -> decltype(search()) {
+  namespace res = pkb::resilience;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    try {
+      res::consult(fault_plan_, res::Stage::VectorSearch);
+      auto hits = search();
+      if (attempt > 0) {
+        obs::global_metrics()
+            .counter(obs::kResilienceHedgeWinsTotal,
+                     {{"stage", "vector_search"}})
+            .inc();
+      }
+      return hits;
+    } catch (const res::FaultError&) {
+      if (attempt >= search_hedges_) throw;
+      obs::global_metrics()
+          .counter(obs::kResilienceHedgesTotal, {{"stage", "vector_search"}})
+          .inc();
+      obs::Span span(obs::global_tracer(), obs::kSpanHedge);
+      span.set_attr("stage", "vector_search");
+      span.set_attr("attempt", static_cast<std::uint64_t>(attempt) + 1);
+    }
+  }
 }
 
 void Retriever::assemble_from_hits(
@@ -132,12 +168,20 @@ void Retriever::assemble_from_hits(
       rc.push_back(rerank::RerankCandidate{
           ctx.doc, static_cast<float>(ctx.score)});
     }
-    const auto reranked = reranker->rerank(query, rc, opts_.final_l);
-    result.contexts.clear();
-    for (const rerank::RerankResult& rr : reranked) {
-      RetrievedContext ctx = candidates[rr.original_rank];
-      ctx.score = rr.score;
-      result.contexts.push_back(std::move(ctx));
+    try {
+      const auto reranked = reranker->rerank(query, rc, opts_.final_l);
+      result.contexts.clear();
+      for (const rerank::RerankResult& rr : reranked) {
+        RetrievedContext ctx = candidates[rr.original_rank];
+        ctx.score = rr.score;
+        result.contexts.push_back(std::move(ctx));
+      }
+    } catch (const pkb::resilience::FaultError&) {
+      // First rung of the degradation ladder: a failed/timed-out rerank
+      // serves the first-pass order instead of failing the request.
+      result.contexts = candidates;
+      result.rerank_degraded = true;
+      rerank_span.set_attr("degraded", true);
     }
     rerank_span.set_attr("out", result.contexts.size());
     result.rerank_seconds = watch.seconds();
@@ -179,8 +223,9 @@ RetrievalResult Retriever::retrieve_on(const SnapshotPtr& snap,
   std::vector<vectordb::SearchResult> vector_hits;
   {
     obs::Span search_span(obs::global_tracer(), obs::kSpanVectorSearch);
-    vector_hits =
-        snap->store.similarity_search(query_vec, opts_.first_pass_k);
+    vector_hits = search_with_hedge([&] {
+      return snap->store.similarity_search(query_vec, opts_.first_pass_k);
+    });
     search_span.set_attr("hits", vector_hits.size());
   }
   result.search_seconds = watch.seconds();
@@ -208,8 +253,9 @@ RetrievalResult Retriever::retrieve_with_embedding(
   std::vector<vectordb::SearchResult> vector_hits;
   {
     obs::Span search_span(obs::global_tracer(), obs::kSpanVectorSearch);
-    vector_hits =
-        snap->store.similarity_search(query_vec, opts_.first_pass_k);
+    vector_hits = search_with_hedge([&] {
+      return snap->store.similarity_search(query_vec, opts_.first_pass_k);
+    });
     search_span.set_attr("hits", vector_hits.size());
   }
   result.search_seconds = watch.seconds();
@@ -257,7 +303,9 @@ std::vector<RetrievalResult> Retriever::retrieve_batch_with_embeddings(
     obs::Span span(obs::global_tracer(), obs::kSpanVectorSearchBatch);
     span.set_attr("queries", queries.size());
     span.set_attr("k", opts_.first_pass_k);
-    all_hits = snap->store.similarity_search_batch(vecs, opts_.first_pass_k);
+    all_hits = search_with_hedge([&] {
+      return snap->store.similarity_search_batch(vecs, opts_.first_pass_k);
+    });
   }
   const double search_total = watch.seconds();
 

@@ -16,6 +16,7 @@
 
 #include "rag/knowledge_base.h"
 #include "rerank/reranker.h"
+#include "resilience/fault_plan.h"
 
 namespace pkb::rag {
 
@@ -54,6 +55,9 @@ struct RetrievalResult {
   double embed_seconds = 0.0;    ///< query embedding
   double search_seconds = 0.0;   ///< vector search + keyword lookup
   double rerank_seconds = 0.0;   ///< rerank stage (0 when disabled)
+  /// The rerank stage failed (injected fault/timeout) and `contexts` is the
+  /// unreranked first-pass order — the first rung of the degradation ladder.
+  bool rerank_degraded = false;
   /// Total RAG processing time (embed + search + rerank).
   [[nodiscard]] double rag_seconds() const {
     return embed_seconds + search_seconds + rerank_seconds;
@@ -107,6 +111,16 @@ class Retriever {
   [[nodiscard]] bool reranking_enabled() const {
     return !opts_.reranker.empty();
   }
+
+  /// Attach a chaos plan. Vector-search decisions are consulted here (the
+  /// snapshot's store is immutable, so the retriever is the injection
+  /// point on the serving path) with up to `search_hedges` hedged
+  /// re-attempts before the fault propagates; the plan is also handed to
+  /// every reranker this retriever fits, whose rerank faults are caught in
+  /// assemble_from_hits and degrade to first-pass order. Pass nullptr to
+  /// detach. Setup-time only — must not race in-flight retrievals.
+  void set_fault_plan(const pkb::resilience::FaultPlan* plan,
+                      std::uint32_t search_hedges = 1);
   [[nodiscard]] const KnowledgeBase& kb() const { return kb_; }
   /// Compat name for the pre-generational accessor.
   [[nodiscard]] const KnowledgeBase& db() const { return kb_; }
@@ -125,11 +139,20 @@ class Retriever {
   [[nodiscard]] std::shared_ptr<const rerank::Reranker> reranker_for(
       const Snapshot& snap) const;
 
+  /// Vector search with fault consultation and hedged re-attempts; the
+  /// single-query and batched paths share the retry shape through the
+  /// `search` callable.
+  template <typename SearchFn>
+  auto search_with_hedge(SearchFn&& search) const
+      -> decltype(search());
+
   const KnowledgeBase& kb_;
   RetrieverOptions opts_;
   mutable std::mutex rerank_mu_;
-  mutable std::shared_ptr<const rerank::Reranker> reranker_;
+  mutable std::shared_ptr<rerank::Reranker> reranker_;
   mutable std::uint64_t reranker_generation_ = 0;
+  const pkb::resilience::FaultPlan* fault_plan_ = nullptr;
+  std::uint32_t search_hedges_ = 1;
 };
 
 }  // namespace pkb::rag

@@ -4,9 +4,46 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rag/prompts.h"
+#include "text/tokenizer.h"
 #include "util/clock.h"
 
 namespace pkb::rag {
+
+namespace {
+
+namespace res = pkb::resilience;
+
+/// The extractive fallback (ladder level Extractive): the lead sentence of
+/// each attended context, stitched in retrieval order. No model involved,
+/// so it works with the LLM stage entirely lost.
+std::string extractive_answer(const llm::LlmRequest& request) {
+  std::string text =
+      "[degraded] The assistant is temporarily answering from retrieved "
+      "documentation excerpts:";
+  const std::size_t limit =
+      std::min(request.contexts.size(), request.max_attended_contexts);
+  for (std::size_t i = 0; i < limit; ++i) {
+    const llm::ContextDoc& ctx = request.contexts[i];
+    const auto sentences = text::split_sentences(ctx.text);
+    text += "\n- ";
+    if (!ctx.title.empty()) {
+      text += ctx.title;
+      text += ": ";
+    }
+    text += sentences.empty() ? std::string_view(ctx.text)
+                              : sentences.front();
+  }
+  return text;
+}
+
+void count_degraded(res::DegradationLevel level) {
+  obs::global_metrics()
+      .counter(obs::kResilienceDegradedTotal,
+               {{"level", std::string(res::to_string(level))}})
+      .inc();
+}
+
+}  // namespace
 
 std::string_view to_string(PipelineArm arm) {
   switch (arm) {
@@ -47,7 +84,14 @@ void AugmentedWorkflow::attach_history_retrieval(
   history_retriever_ = retriever;
 }
 
-WorkflowOutcome AugmentedWorkflow::ask(std::string_view question) const {
+void AugmentedWorkflow::set_fault_plan(const resilience::FaultPlan* plan,
+                                       std::uint32_t search_hedges) {
+  llm_.set_fault_plan(plan);
+  if (retriever_ != nullptr) retriever_->set_fault_plan(plan, search_hedges);
+}
+
+WorkflowOutcome AugmentedWorkflow::ask(std::string_view question,
+                                       resilience::RequestContext* ctx) const {
   const std::string arm_name(to_string(arm_));
   obs::global_metrics()
       .counter(obs::kWorkflowRequestsTotal, {{"arm", arm_name}})
@@ -59,9 +103,20 @@ WorkflowOutcome AugmentedWorkflow::ask(std::string_view question) const {
 
   WorkflowOutcome outcome;
   if (retriever_ != nullptr) {
-    outcome.retrieval = retriever_->retrieve(question);
+    if (ctx != nullptr) {
+      try {
+        outcome.retrieval = retriever_->retrieve(question);
+      } catch (const res::FaultError&) {
+        // Second rung: retrieval lost entirely (hedges exhausted). The LLM
+        // still answers, parametrically, from an empty context list.
+        ctx->degrade(res::DegradationLevel::NoRetrieval);
+        outcome.retrieval = RetrievalResult{};
+      }
+    } else {
+      outcome.retrieval = retriever_->retrieve(question);
+    }
   }
-  outcome = finish(question, std::move(outcome));
+  outcome = finish(question, std::move(outcome), ctx);
   obs::global_metrics()
       .histogram(obs::kWorkflowAskSeconds, {{"arm", arm_name}})
       .observe(ask_watch.seconds());
@@ -69,7 +124,8 @@ WorkflowOutcome AugmentedWorkflow::ask(std::string_view question) const {
 }
 
 WorkflowOutcome AugmentedWorkflow::ask_with_retrieval(
-    std::string_view question, RetrievalResult retrieval) const {
+    std::string_view question, RetrievalResult retrieval,
+    resilience::RequestContext* ctx) const {
   const std::string arm_name(to_string(arm_));
   obs::global_metrics()
       .counter(obs::kWorkflowRequestsTotal, {{"arm", arm_name}})
@@ -84,18 +140,26 @@ WorkflowOutcome AugmentedWorkflow::ask_with_retrieval(
   if (retriever_ != nullptr) {
     outcome.retrieval = std::move(retrieval);
   }
-  outcome = finish(question, std::move(outcome));
+  outcome = finish(question, std::move(outcome), ctx);
   obs::global_metrics()
       .histogram(obs::kWorkflowAskSeconds, {{"arm", arm_name}})
       .observe(ask_watch.seconds());
   return outcome;
 }
 
-WorkflowOutcome AugmentedWorkflow::finish(std::string_view question,
-                                          WorkflowOutcome outcome) const {
+WorkflowOutcome AugmentedWorkflow::finish(
+    std::string_view question, WorkflowOutcome outcome,
+    resilience::RequestContext* ctx) const {
   // Stamp the generation the answer reflects. Baseline outcomes read no
   // corpus and stay 0 — they can never go stale.
   outcome.generation = outcome.retrieval.generation();
+  if (ctx != nullptr) {
+    // Retrieval ran for real — its wall time comes off the budget.
+    ctx->budget.charge(outcome.retrieval.rag_seconds());
+    if (outcome.retrieval.rerank_degraded) {
+      ctx->degrade(res::DegradationLevel::Unreranked);
+    }
+  }
   llm::LlmRequest request;
   request.question = std::string(question);
   if (retriever_ != nullptr) {
@@ -129,7 +193,16 @@ WorkflowOutcome AugmentedWorkflow::finish(std::string_view question,
     prompt_span.set_attr("chars", outcome.prompt.size());
   }
 
-  outcome.response = llm_.complete(request);
+  if (ctx != nullptr && ctx->engine != nullptr) {
+    outcome.response = complete_resilient(request, *ctx);
+    outcome.degradation = ctx->level;
+    if (ctx->degraded()) count_degraded(ctx->level);
+    obs::global_metrics()
+        .histogram(obs::kResilienceBudgetSpentSeconds)
+        .observe(ctx->budget.spent_seconds());
+  } else {
+    outcome.response = llm_.complete(request);
+  }
   {
     obs::Span post_span(obs::global_tracer(), obs::kSpanPostprocess);
     outcome.processed = post::postprocess_llm_output(outcome.response.text);
@@ -165,6 +238,124 @@ WorkflowOutcome AugmentedWorkflow::finish(std::string_view question,
     }
   }
   return outcome;
+}
+
+llm::LlmResponse AugmentedWorkflow::complete_resilient(
+    const llm::LlmRequest& request, resilience::RequestContext& ctx) const {
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  res::CircuitBreaker& breaker = ctx.engine->breaker();
+  const res::ResilienceOptions& opts = ctx.engine->options();
+  std::string lost_reason;
+
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    if (ctx.budget.exhausted()) {
+      lost_reason = "deadline";
+      ctx.deadline_exceeded = true;
+      metrics
+          .counter(obs::kResilienceDeadlineExceededTotal, {{"stage", "llm"}})
+          .inc();
+      break;
+    }
+    if (!breaker.allow()) {
+      // Fail fast: the breaker is open, don't even attempt the stage.
+      lost_reason = "breaker_open";
+      ctx.breaker_short_circuit = true;
+      break;
+    }
+    try {
+      ++ctx.llm_attempts;
+      llm::LlmResponse resp = llm_.complete(request);
+      if (resp.latency_seconds > ctx.budget.remaining_seconds()) {
+        // Natural timeout: the (virtual) completion would have landed past
+        // the deadline, so the caller abandons it at the deadline.
+        ctx.budget.exhaust();
+        ctx.deadline_exceeded = true;
+        lost_reason = "deadline";
+        metrics
+            .counter(obs::kResilienceDeadlineExceededTotal,
+                     {{"stage", "llm"}})
+            .inc();
+        breaker.record_failure();
+        break;
+      }
+      ctx.budget.charge(resp.latency_seconds);
+      breaker.record_success();
+      return resp;
+    } catch (const res::TimeoutError&) {
+      // An injected hang: the call sits on the wire until the request's
+      // deadline fires, taking the whole remaining budget with it.
+      breaker.record_failure();
+      ctx.budget.exhaust();
+      ctx.deadline_exceeded = true;
+      lost_reason = "timeout";
+      metrics
+          .counter(obs::kResilienceDeadlineExceededTotal, {{"stage", "llm"}})
+          .inc();
+      break;
+    } catch (const res::PermanentError&) {
+      breaker.record_failure();
+      lost_reason = "permanent_error";
+      break;
+    } catch (const res::TransientError&) {
+      breaker.record_failure();
+      if (attempt >= opts.llm_retry.max_attempts) {
+        lost_reason = "retries_exhausted";
+        break;
+      }
+      const double backoff =
+          opts.llm_retry.backoff_seconds(attempt, ctx.jitter_seed);
+      if (backoff > ctx.budget.remaining_seconds()) {
+        ctx.budget.exhaust();
+        ctx.deadline_exceeded = true;
+        lost_reason = "deadline";
+        metrics
+            .counter(obs::kResilienceDeadlineExceededTotal,
+                     {{"stage", "llm"}})
+            .inc();
+        break;
+      }
+      // The wait is virtual: charged to the budget, never slept.
+      ctx.budget.charge(backoff);
+      ++ctx.retries;
+      metrics.counter(obs::kResilienceRetriesTotal, {{"stage", "llm"}}).inc();
+      metrics.histogram(obs::kResilienceBackoffSeconds).observe(backoff);
+      obs::Span retry_span(obs::global_tracer(), obs::kSpanRetry);
+      retry_span.set_attr("stage", "llm");
+      retry_span.set_attr("attempt", static_cast<std::uint64_t>(attempt));
+      retry_span.set_attr("backoff_s", backoff);
+    }
+  }
+
+  // The LLM stage is lost — walk the remaining ladder. With contexts in
+  // hand the answer is stitched extractively; without, a stub.
+  llm::LlmResponse resp;
+  const bool have_contexts = !request.contexts.empty();
+  if (have_contexts) {
+    ctx.degrade(res::DegradationLevel::Extractive);
+    resp.text = extractive_answer(request);
+    resp.mode = "degraded-extractive";
+    const std::size_t limit =
+        std::min(request.contexts.size(), request.max_attended_contexts);
+    for (std::size_t i = 0; i < limit; ++i) {
+      resp.used_context_ids.push_back(request.contexts[i].id);
+    }
+  } else {
+    ctx.degrade(res::DegradationLevel::Unavailable);
+    resp.text =
+        "[degraded] The assistant is temporarily unavailable; please retry "
+        "shortly.";
+    resp.mode = "degraded-unavailable";
+  }
+  resp.latency_seconds =
+      std::min(opts.extractive_latency_seconds, ctx.budget.remaining_seconds());
+  ctx.budget.charge(resp.latency_seconds);
+  resp.completion_tokens = text::approx_llm_tokens(resp.text);
+
+  obs::Span span(obs::global_tracer(), obs::kSpanDegradedAnswer);
+  span.set_attr("level", res::to_string(ctx.level));
+  span.set_attr("reason", lost_reason);
+  span.set_attr("attempts", static_cast<std::uint64_t>(ctx.llm_attempts));
+  return resp;
 }
 
 }  // namespace pkb::rag

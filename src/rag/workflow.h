@@ -13,6 +13,7 @@
 #include "post/postprocessor.h"
 #include "rag/history_retriever.h"
 #include "rag/retriever.h"
+#include "resilience/resilience.h"
 
 namespace pkb::rag {
 
@@ -32,6 +33,15 @@ struct WorkflowOutcome {
   post::ProcessedOutput processed;  ///< box-4 postprocessing of the response
   std::string prompt;               ///< the full prompt sent to the model
   std::uint64_t history_id = 0;     ///< record id when history is attached
+  /// How much of the full pipeline this answer reflects (the degradation
+  /// ladder; Full when no resilience context was active or nothing failed).
+  /// Callers — the serve layer's answer cache in particular — use this to
+  /// distinguish full answers (cacheable at the normal TTL) from degraded
+  /// ones (short TTL, so a transient outage cannot poison the cache).
+  resilience::DegradationLevel degradation = resilience::DegradationLevel::Full;
+  [[nodiscard]] bool degraded() const {
+    return degradation != resilience::DegradationLevel::Full;
+  }
   /// KnowledgeBase generation the answer was computed against (0 for the
   /// Baseline arm, which reads no corpus). The serve layer compares this to
   /// the live generation to detect stale cached answers; retrieval.snapshot
@@ -71,15 +81,29 @@ class AugmentedWorkflow : public QuestionService {
   /// refresh()es.
   void attach_history_retrieval(const HistoryRetriever* retriever);
 
-  /// Run one question end to end.
-  [[nodiscard]] WorkflowOutcome ask(std::string_view question) const;
+  /// Attach a chaos plan: forwarded to the simulated LLM and the retriever
+  /// (which hands it to its rerankers and consults it for vector search
+  /// with `search_hedges` hedged re-attempts). Setup-time only.
+  void set_fault_plan(const resilience::FaultPlan* plan,
+                      std::uint32_t search_hedges = 1);
+
+  /// Run one question end to end. With a non-null `ctx` (minted by a
+  /// resilience::Resilience engine, which rides along in ctx->engine),
+  /// stage costs are charged to the context's deadline budget and failures
+  /// walk the degradation ladder instead of propagating — the outcome then
+  /// carries ctx->level in `degradation` and an extractive or stub answer
+  /// when the LLM stage was lost.
+  [[nodiscard]] WorkflowOutcome ask(
+      std::string_view question,
+      resilience::RequestContext* ctx = nullptr) const;
 
   /// As ask(), but the retrieval stage was already computed by the caller
   /// (the serve layer's memoized/batched paths). Supplying exactly
   /// retriever()->retrieve(question) yields the same outcome content as
   /// ask(question). For the Baseline arm the retrieval is ignored.
   [[nodiscard]] WorkflowOutcome ask_with_retrieval(
-      std::string_view question, RetrievalResult retrieval) const;
+      std::string_view question, RetrievalResult retrieval,
+      resilience::RequestContext* ctx = nullptr) const;
 
   /// QuestionService: answer == ask. ask() is const and runs against an
   /// immutable pinned snapshot, so concurrent calls are safe even while
@@ -99,7 +123,15 @@ class AugmentedWorkflow : public QuestionService {
   /// Boxes 2-4 plus history recording, shared by ask() and
   /// ask_with_retrieval(): `outcome.retrieval` is already populated.
   [[nodiscard]] WorkflowOutcome finish(std::string_view question,
-                                       WorkflowOutcome outcome) const;
+                                       WorkflowOutcome outcome,
+                                       resilience::RequestContext* ctx) const;
+
+  /// The LLM stage under the resilience policies: breaker gate, bounded
+  /// retries with budget-charged backoff, virtual-latency deadline checks.
+  /// On loss of the stage, returns the extractive (or stub) fallback answer
+  /// and records the ladder level in `ctx`.
+  [[nodiscard]] llm::LlmResponse complete_resilient(
+      const llm::LlmRequest& request, resilience::RequestContext& ctx) const;
 
   const KnowledgeBase& kb_;
   PipelineArm arm_;

@@ -110,6 +110,7 @@ double CrossScoreReranker::score_pair(std::string_view query,
 std::vector<RerankResult> CrossScoreReranker::rerank(
     std::string_view query, const std::vector<RerankCandidate>& candidates,
     std::size_t top_l) const {
+  consult_fault_plan();
   // Each (query, document) pair costs O(|query| * |doc|); score them across
   // the pool. Writes go to distinct slots and score_pair is const, so the
   // loop is race-free; the subsequent sort makes the output order identical

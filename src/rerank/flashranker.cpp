@@ -92,6 +92,7 @@ double FlashRanker::score_pair(std::string_view query,
 std::vector<RerankResult> FlashRanker::rerank(
     std::string_view query, const std::vector<RerankCandidate>& candidates,
     std::size_t top_l) const {
+  consult_fault_plan();
   std::vector<RerankResult> out;
   out.reserve(candidates.size());
   for (std::size_t i = 0; i < candidates.size(); ++i) {

@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "resilience/fault_plan.h"
 #include "text/document.h"
 
 namespace pkb::rerank {
@@ -55,6 +56,23 @@ class Reranker {
   [[nodiscard]] virtual std::vector<RerankResult> rerank(
       std::string_view query, const std::vector<RerankCandidate>& candidates,
       std::size_t top_l) const = 0;
+
+  /// Attach a chaos plan consulted (Stage::Rerank) at each rerank() entry:
+  /// error/timeout decisions throw the matching resilience::FaultError,
+  /// which the retrieval layer catches to fall back to first-pass order.
+  /// Setup-time only — must not race in-flight rerank() calls.
+  void set_fault_plan(const pkb::resilience::FaultPlan* plan) {
+    fault_plan_ = plan;
+  }
+
+ protected:
+  /// Implementations call this first thing in rerank().
+  void consult_fault_plan() const {
+    pkb::resilience::consult(fault_plan_, pkb::resilience::Stage::Rerank);
+  }
+
+ private:
+  const pkb::resilience::FaultPlan* fault_plan_ = nullptr;
 };
 
 /// Registry: "sim-flashrank" or "sim-nv-cross". Throws on unknown names.

@@ -1,0 +1,66 @@
+#pragma once
+// The fault model of the serving pipeline: which stages can fail, how they
+// can fail, and the exception types a failing stage surfaces. The paper's
+// deployment (§III-E) is a long-running user-facing service whose latency is
+// dominated by the LLM stage (Table II); production traffic will see every
+// one of these failure shapes, so the simulation models them explicitly —
+// deterministically, via resilience::FaultPlan (fault_plan.h).
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace pkb::resilience {
+
+/// Pipeline stages that can have faults injected. The numeric values index
+/// the FaultPlan's per-stage state, so they are stable.
+enum class Stage : int {
+  VectorSearch = 0,  ///< first-pass embedding search (vectordb)
+  Rerank = 1,        ///< second-pass reranking (rerank)
+  Llm = 2,           ///< the (simulated) LLM completion (llm)
+  Ingest = 3,        ///< a knowledge-base generation build (ingest)
+};
+inline constexpr int kStageCount = 4;
+
+[[nodiscard]] std::string_view to_string(Stage stage);
+
+/// How one stage call misbehaves.
+enum class FaultKind : int {
+  None = 0,          ///< the call proceeds normally
+  Transient = 1,     ///< retryable error (network blip, 429, …)
+  Permanent = 2,     ///< non-retryable error (bad request, quota revoked)
+  Timeout = 3,       ///< the call never returns before any deadline
+  LatencySpike = 4,  ///< the call succeeds but takes extra (virtual) seconds
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind);
+
+/// Base class of every injected (or deadline-derived) stage failure. The
+/// resilience policies dispatch on the concrete type: Transient retries,
+/// Permanent does not, Timeout consumes the remaining deadline budget.
+class FaultError : public std::runtime_error {
+ public:
+  FaultError(Stage stage, const std::string& what)
+      : std::runtime_error(what), stage_(stage) {}
+  [[nodiscard]] Stage stage() const { return stage_; }
+
+ private:
+  Stage stage_;
+};
+
+class TransientError : public FaultError {
+ public:
+  using FaultError::FaultError;
+};
+
+class PermanentError : public FaultError {
+ public:
+  using FaultError::FaultError;
+};
+
+class TimeoutError : public FaultError {
+ public:
+  using FaultError::FaultError;
+};
+
+}  // namespace pkb::resilience

@@ -1,0 +1,148 @@
+#include "resilience/fault_plan.h"
+
+#include <string>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace pkb::resilience {
+
+std::string_view to_string(Stage stage) {
+  switch (stage) {
+    case Stage::VectorSearch:
+      return "vector_search";
+    case Stage::Rerank:
+      return "rerank";
+    case Stage::Llm:
+      return "llm";
+    case Stage::Ingest:
+      return "ingest";
+  }
+  return "?";
+}
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::None:
+      return "none";
+    case FaultKind::Transient:
+      return "transient";
+    case FaultKind::Permanent:
+      return "permanent";
+    case FaultKind::Timeout:
+      return "timeout";
+    case FaultKind::LatencySpike:
+      return "latency_spike";
+  }
+  return "?";
+}
+
+FaultPlan::FaultPlan(FaultPlanOptions opts) : opts_(opts) {}
+
+const StageFaultSpec& FaultPlan::spec(Stage stage) const {
+  switch (stage) {
+    case Stage::VectorSearch:
+      return opts_.vector_search;
+    case Stage::Rerank:
+      return opts_.rerank;
+    case Stage::Llm:
+      return opts_.llm;
+    case Stage::Ingest:
+      return opts_.ingest;
+  }
+  return opts_.llm;  // unreachable
+}
+
+void FaultPlan::script(Stage stage, std::vector<FaultKind> outcomes) {
+  script_[static_cast<int>(stage)] = std::move(outcomes);
+}
+
+FaultDecision FaultPlan::decide(Stage stage) const {
+  const int s = static_cast<int>(stage);
+  StageState& st = state_[s];
+  const std::uint64_t n = st.seq.fetch_add(1, std::memory_order_relaxed);
+
+  FaultDecision d;
+  const StageFaultSpec& spec = this->spec(stage);
+  if (n < script_[s].size()) {
+    d.kind = script_[s][n];
+  } else {
+    // One uniform draw, fully determined by (seed, stage, ordinal): mix the
+    // three through SplitMix64 (the Rng constructor) so nearby ordinals are
+    // uncorrelated.
+    pkb::util::Rng rng(opts_.seed ^ (static_cast<std::uint64_t>(s + 1) *
+                                     0x9e3779b97f4a7c15ULL) ^
+                       (n * 0xbf58476d1ce4e5b9ULL));
+    const double u = rng.uniform();
+    double edge = spec.transient_rate;
+    if (u < edge) {
+      d.kind = FaultKind::Transient;
+    } else if (u < (edge += spec.permanent_rate)) {
+      d.kind = FaultKind::Permanent;
+    } else if (u < (edge += spec.timeout_rate)) {
+      d.kind = FaultKind::Timeout;
+    } else if (u < (edge += spec.spike_rate)) {
+      d.kind = FaultKind::LatencySpike;
+    }
+  }
+  switch (d.kind) {
+    case FaultKind::None:
+      break;
+    case FaultKind::Transient:
+      st.transient.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FaultKind::Permanent:
+      st.permanent.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FaultKind::Timeout:
+      st.timeout.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FaultKind::LatencySpike:
+      st.spike.fetch_add(1, std::memory_order_relaxed);
+      d.extra_latency_seconds = spec.spike_seconds;
+      break;
+  }
+  return d;
+}
+
+FaultPlan::StageCounts FaultPlan::counts(Stage stage) const {
+  const StageState& st = state_[static_cast<int>(stage)];
+  StageCounts c;
+  c.calls = st.seq.load(std::memory_order_relaxed);
+  c.transient = st.transient.load(std::memory_order_relaxed);
+  c.permanent = st.permanent.load(std::memory_order_relaxed);
+  c.timeout = st.timeout.load(std::memory_order_relaxed);
+  c.spike = st.spike.load(std::memory_order_relaxed);
+  return c;
+}
+
+double consult(const FaultPlan* plan, Stage stage) {
+  if (plan == nullptr) return 0.0;
+  const FaultDecision d = plan->decide(stage);
+  if (d.kind == FaultKind::None) return 0.0;
+
+  obs::global_metrics()
+      .counter(obs::kResilienceFaultsInjectedTotal,
+               {{"stage", std::string(to_string(stage))},
+                {"kind", std::string(to_string(d.kind))}})
+      .inc();
+  const std::string what = "injected " + std::string(to_string(d.kind)) +
+                           " fault on stage " +
+                           std::string(to_string(stage));
+  switch (d.kind) {
+    case FaultKind::Transient:
+      throw TransientError(stage, what);
+    case FaultKind::Permanent:
+      throw PermanentError(stage, what);
+    case FaultKind::Timeout:
+      throw TimeoutError(stage, what);
+    case FaultKind::LatencySpike:
+      return d.extra_latency_seconds;
+    case FaultKind::None:
+      break;
+  }
+  return 0.0;
+}
+
+}  // namespace pkb::resilience

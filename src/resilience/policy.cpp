@@ -1,0 +1,173 @@
+#include "resilience/policy.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/rng.h"
+
+namespace pkb::resilience {
+
+double mono_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+DeadlineBudget::DeadlineBudget(double budget_seconds)
+    : budget_(budget_seconds > 0.0 ? budget_seconds : 0.0) {}
+
+void DeadlineBudget::charge(double seconds) {
+  if (seconds <= 0.0) return;
+  if (unlimited()) {
+    spent_ += seconds;
+    return;
+  }
+  spent_ = std::min(budget_, spent_ + seconds);
+}
+
+void DeadlineBudget::exhaust() {
+  if (unlimited()) return;
+  spent_ = budget_;
+}
+
+double RetryPolicy::backoff_seconds(std::uint32_t retry,
+                                    std::uint64_t seed) const {
+  if (retry == 0) return 0.0;
+  double wait = base_backoff_seconds;
+  for (std::uint32_t i = 1; i < retry; ++i) {
+    wait *= multiplier;
+    if (wait >= max_backoff_seconds) break;
+  }
+  wait = std::min(wait, max_backoff_seconds);
+  if (jitter > 0.0) {
+    pkb::util::Rng rng(seed ^ (static_cast<std::uint64_t>(retry) *
+                               0x94d049bb133111ebULL));
+    wait *= 1.0 + jitter * (2.0 * rng.uniform() - 1.0);
+  }
+  return wait;
+}
+
+std::string_view to_string(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::Closed:
+      return "closed";
+    case CircuitBreaker::State::Open:
+      return "open";
+    case CircuitBreaker::State::HalfOpen:
+      return "half_open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(Options opts, Clock clock)
+    : opts_(opts), clock_(clock ? std::move(clock) : Clock(&mono_seconds)) {
+  opts_.window = std::max<std::size_t>(1, opts_.window);
+  opts_.min_samples = std::max<std::size_t>(1, opts_.min_samples);
+  opts_.half_open_probes = std::max<std::size_t>(1, opts_.half_open_probes);
+  ring_.assign(opts_.window, 0);
+  obs::global_metrics().gauge(obs::kResilienceBreakerState).set(0.0);
+}
+
+bool CircuitBreaker::allow() {
+  std::lock_guard<std::mutex> lk(mu_);
+  switch (state_) {
+    case State::Closed:
+      return true;
+    case State::Open:
+      if (clock_() >= open_until_) {
+        transition_locked(State::HalfOpen);
+        --probes_allowed_;
+        return true;
+      }
+      obs::global_metrics()
+          .counter(obs::kResilienceBreakerShortCircuitsTotal)
+          .inc();
+      return false;
+    case State::HalfOpen:
+      if (probes_allowed_ > 0) {
+        --probes_allowed_;
+        return true;
+      }
+      obs::global_metrics()
+          .counter(obs::kResilienceBreakerShortCircuitsTotal)
+          .inc();
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (state_ == State::HalfOpen) {
+    if (++probe_successes_ >= opts_.half_open_probes) {
+      transition_locked(State::Closed);
+    }
+    return;
+  }
+  push_outcome_locked(false);
+}
+
+void CircuitBreaker::record_failure() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (state_ == State::HalfOpen) {
+    transition_locked(State::Open);
+    return;
+  }
+  if (state_ == State::Open) return;
+  push_outcome_locked(true);
+  if (count_ >= opts_.min_samples &&
+      static_cast<double>(failures_) >=
+          opts_.failure_threshold * static_cast<double>(count_)) {
+    transition_locked(State::Open);
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return state_;
+}
+
+void CircuitBreaker::push_outcome_locked(bool failure) {
+  if (count_ == opts_.window) {
+    failures_ -= static_cast<std::size_t>(ring_[ring_next_]);
+  } else {
+    ++count_;
+  }
+  ring_[ring_next_] = failure ? 1 : 0;
+  if (failure) ++failures_;
+  ring_next_ = (ring_next_ + 1) % opts_.window;
+}
+
+void CircuitBreaker::transition_locked(State to) {
+  const State from = state_;
+  state_ = to;
+  switch (to) {
+    case State::Open:
+      open_until_ = clock_() + opts_.open_seconds;
+      break;
+    case State::HalfOpen:
+      probes_allowed_ = opts_.half_open_probes;
+      probe_successes_ = 0;
+      break;
+    case State::Closed:
+      std::fill(ring_.begin(), ring_.end(), 0);
+      ring_next_ = 0;
+      count_ = 0;
+      failures_ = 0;
+      break;
+  }
+  auto& m = obs::global_metrics();
+  m.counter(obs::kResilienceBreakerTransitionsTotal,
+            {{"to", std::string(to_string(to))}})
+      .inc();
+  m.gauge(obs::kResilienceBreakerState).set(static_cast<double>(to));
+  obs::Span span(obs::global_tracer(), obs::kSpanBreakerState);
+  span.set_attr("from", to_string(from));
+  span.set_attr("to", to_string(to));
+}
+
+}  // namespace pkb::resilience

@@ -1,0 +1,34 @@
+#include "resilience/resilience.h"
+
+namespace pkb::resilience {
+
+std::string_view to_string(DegradationLevel level) {
+  switch (level) {
+    case DegradationLevel::Full:
+      return "full";
+    case DegradationLevel::Unreranked:
+      return "unreranked";
+    case DegradationLevel::NoRetrieval:
+      return "no_retrieval";
+    case DegradationLevel::Extractive:
+      return "extractive";
+    case DegradationLevel::Unavailable:
+      return "unavailable";
+  }
+  return "?";
+}
+
+Resilience::Resilience(ResilienceOptions opts, Clock clock)
+    : opts_(opts), breaker_(opts.breaker, std::move(clock)) {}
+
+RequestContext Resilience::make_context() {
+  RequestContext ctx;
+  ctx.engine = this;
+  ctx.budget = DeadlineBudget(opts_.request_deadline_seconds);
+  const std::uint64_t n =
+      next_ordinal_.fetch_add(1, std::memory_order_relaxed);
+  ctx.jitter_seed = opts_.seed ^ (n * 0xd1342543de82ef95ULL);
+  return ctx;
+}
+
+}  // namespace pkb::resilience

@@ -74,8 +74,10 @@ class ShardedLruCache {
       ++shard.stats.misses;
       return std::nullopt;
     }
-    if (opts_.ttl_seconds > 0.0 &&
-        opts_.clock() - it->second->stamp > opts_.ttl_seconds) {
+    const double ttl =
+        it->second->ttl_seconds > 0.0 ? it->second->ttl_seconds
+                                      : opts_.ttl_seconds;
+    if (ttl > 0.0 && opts_.clock() - it->second->stamp > ttl) {
       shard.order.erase(it->second);
       shard.index.erase(it);
       ++shard.stats.misses;
@@ -91,6 +93,14 @@ class ShardedLruCache {
   /// Insert or overwrite; refreshes the TTL stamp. Returns the number of
   /// entries evicted to make room (0 or 1).
   std::size_t put(const K& key, V value) {
+    return put_with_ttl(key, std::move(value), 0.0);
+  }
+
+  /// put() with a per-entry TTL override: `ttl_seconds` > 0 expires this
+  /// entry after that long regardless of the cache-wide TTL — the serving
+  /// layer gives degraded answers a short life so a transient outage never
+  /// poisons the long-TTL cache. 0 keeps the cache-wide policy.
+  std::size_t put_with_ttl(const K& key, V value, double ttl_seconds) {
     if (!enabled()) return 0;
     Shard& shard = shard_for(key);
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -99,6 +109,7 @@ class ShardedLruCache {
     if (it != shard.index.end()) {
       it->second->value = std::move(value);
       it->second->stamp = now;
+      it->second->ttl_seconds = ttl_seconds;
       shard.order.splice(shard.order.begin(), shard.order, it->second);
       return 0;
     }
@@ -110,7 +121,7 @@ class ShardedLruCache {
       ++shard.stats.evictions;
       evicted = 1;
     }
-    shard.order.push_front(Entry{key, std::move(value), now});
+    shard.order.push_front(Entry{key, std::move(value), now, ttl_seconds});
     shard.index.emplace(key, shard.order.begin());
     return evicted;
   }
@@ -155,7 +166,8 @@ class ShardedLruCache {
   struct Entry {
     K key;
     V value;
-    double stamp = 0.0;  ///< insertion/refresh time for TTL
+    double stamp = 0.0;        ///< insertion/refresh time for TTL
+    double ttl_seconds = 0.0;  ///< per-entry override; 0 = cache-wide TTL
   };
   struct Shard {
     mutable std::mutex mu;

@@ -160,14 +160,25 @@ std::vector<rag::WorkflowOutcome> Server::ask_batch(
     for (std::size_t i = 0; i < unique_questions.size(); ++i) {
       vecs[i] = embed_memoized(*snap, unique_questions[i]);
     }
-    std::vector<rag::RetrievalResult> retrievals =
-        retriever->retrieve_batch_with_embeddings(snap, unique_questions,
-                                                  vecs);
+    std::vector<rag::RetrievalResult> retrievals;
+    bool batch_scan_ok = true;
+    try {
+      retrievals = retriever->retrieve_batch_with_embeddings(
+          snap, unique_questions, vecs);
+    } catch (const pkb::resilience::FaultError&) {
+      // The shared scan was lost past its hedges. Fall back to unbatched
+      // requests: each worker retries retrieval individually (fresh fault
+      // decisions), so one bad scan doesn't degrade the whole batch.
+      if (opts_.resilience == nullptr) throw;
+      batch_scan_ok = false;
+    }
     for (std::size_t i = 0; i < unique_slots.size(); ++i) {
       Request req;
       req.question = unique_questions[i];
-      req.retrieval = std::make_unique<rag::RetrievalResult>(
-          std::move(retrievals[i]));
+      if (batch_scan_ok) {
+        req.retrieval = std::make_unique<rag::RetrievalResult>(
+            std::move(retrievals[i]));
+      }
       std::promise<rag::WorkflowOutcome> promise;
       futures.push_back(promise.get_future());
       req.promise = std::move(promise);
@@ -240,8 +251,8 @@ void Server::worker_loop() {
 void Server::process(Request& req) {
   obs::MetricsRegistry& metrics = obs::global_metrics();
   const double start = steady_seconds();
-  metrics.histogram(obs::kServeQueueWaitSeconds)
-      .observe(start - req.enqueue_seconds);
+  const double queue_wait = start - req.enqueue_seconds;
+  metrics.histogram(obs::kServeQueueWaitSeconds).observe(queue_wait);
   metrics.gauge(obs::kServeInflight).add(1.0);
   publish_queue_gauges();
 
@@ -259,9 +270,30 @@ void Server::process(Request& req) {
     } else {
       metrics.counter(obs::kServeAnswerCacheMissesTotal).inc();
       span.set_attr("cache", "miss");
-      outcome = run_pipeline(req.question, std::move(req.retrieval));
-      const std::size_t evicted =
-          answer_cache_.put(req.question, outcome);
+      pkb::resilience::RequestContext ctx;
+      pkb::resilience::RequestContext* ctxp = nullptr;
+      if (opts_.resilience != nullptr) {
+        ctx = opts_.resilience->make_context();
+        // Time already spent waiting in the queue comes off the budget.
+        ctx.budget.charge(queue_wait);
+        ctxp = &ctx;
+      }
+      outcome = run_pipeline(req.question, std::move(req.retrieval), ctxp);
+      std::size_t evicted = 0;
+      if (outcome.degraded()) {
+        degraded_.fetch_add(1, std::memory_order_relaxed);
+        span.set_attr("degraded",
+                      pkb::resilience::to_string(outcome.degradation));
+        // Degraded answers get a short life (or none): the next ask should
+        // retry the full pipeline once the fault clears, not inherit a
+        // transient outage at the normal TTL.
+        if (opts_.degraded_answer_ttl_seconds > 0.0) {
+          evicted = answer_cache_.put_with_ttl(
+              req.question, outcome, opts_.degraded_answer_ttl_seconds);
+        }
+      } else {
+        evicted = answer_cache_.put(req.question, outcome);
+      }
       if (evicted > 0) {
         metrics.counter(obs::kServeCacheEvictionsTotal).inc(evicted);
       }
@@ -278,23 +310,40 @@ void Server::process(Request& req) {
 
 rag::WorkflowOutcome Server::run_pipeline(
     const std::string& question,
-    std::unique_ptr<rag::RetrievalResult> retrieval) {
+    std::unique_ptr<rag::RetrievalResult> retrieval,
+    pkb::resilience::RequestContext* ctx) {
   obs::MetricsRegistry& metrics = obs::global_metrics();
   pkb::util::Stopwatch watch;
 
   rag::WorkflowOutcome outcome;
   const rag::Retriever* retriever = workflow_.retriever();
   if (retrieval != nullptr) {
-    outcome = workflow_.ask_with_retrieval(question, std::move(*retrieval));
+    outcome =
+        workflow_.ask_with_retrieval(question, std::move(*retrieval), ctx);
   } else if (retriever != nullptr) {
     // Single path: pin one snapshot for the whole request, memoize the
     // query embedding against it, then retrieve on it.
     const rag::SnapshotPtr snap = retriever->kb().snapshot();
     const embed::Vector vec = embed_memoized(*snap, question);
-    outcome = workflow_.ask_with_retrieval(
-        question, retriever->retrieve_with_embedding(snap, question, vec));
+    if (ctx != nullptr) {
+      try {
+        rag::RetrievalResult result =
+            retriever->retrieve_with_embedding(snap, question, vec);
+        outcome =
+            workflow_.ask_with_retrieval(question, std::move(result), ctx);
+      } catch (const pkb::resilience::FaultError&) {
+        // Retrieval lost past its hedges: answer parametrically.
+        ctx->degrade(pkb::resilience::DegradationLevel::NoRetrieval);
+        outcome = workflow_.ask_with_retrieval(question,
+                                               rag::RetrievalResult{}, ctx);
+      }
+    } else {
+      outcome = workflow_.ask_with_retrieval(
+          question, retriever->retrieve_with_embedding(snap, question, vec));
+    }
   } else {
-    outcome = workflow_.ask(question);  // Baseline arm: no retrieval stage
+    // Baseline arm: no retrieval stage.
+    outcome = workflow_.ask(question, ctx);
   }
   computed_.fetch_add(1, std::memory_order_relaxed);
 
@@ -316,6 +365,7 @@ Server::Stats Server::stats() const {
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.computed = computed_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
   s.answer_cache = answer_cache_.stats();
   s.embedding_cache = embedding_cache_.stats();
   s.queue_depth = queue_.size();

@@ -72,6 +72,16 @@ struct ServerOptions {
 
   /// Test hook: time source for cache TTLs (defaults to steady_seconds).
   CacheClock cache_clock;
+
+  /// Shared resilience engine (policies + circuit breaker). Non-null
+  /// enables the full treatment per request: a deadline budget charged with
+  /// queue wait, retrieval wall time, and simulated LLM latency; bounded
+  /// LLM retries; the breaker; and the degradation ladder (see
+  /// resilience/resilience.h). Not owned — must outlive the server.
+  resilience::Resilience* resilience = nullptr;
+  /// TTL for cached *degraded* answers, so a transient outage cannot poison
+  /// the long-lived answer cache. 0 = never cache degraded answers.
+  double degraded_answer_ttl_seconds = 2.0;
 };
 
 /// Multi-worker serving layer. Construct, submit()/ask()/ask_batch() from
@@ -114,6 +124,7 @@ class Server final : public rag::QuestionService {
     std::uint64_t submitted = 0;       ///< requests accepted (single + batch)
     std::uint64_t computed = 0;        ///< full pipeline executions
     std::uint64_t rejected = 0;        ///< submissions after stop()
+    std::uint64_t degraded = 0;        ///< computed answers below Full
     CacheStats answer_cache;
     CacheStats embedding_cache;
     std::size_t queue_depth = 0;
@@ -152,10 +163,13 @@ class Server final : public rag::QuestionService {
   [[nodiscard]] embed::Vector embed_memoized(const rag::Snapshot& snap,
                                              const std::string& question);
   /// Run the full pipeline for a cache miss (embedding memo + retrieval +
-  /// LLM + postprocess + optional latency realization).
+  /// LLM + postprocess + optional latency realization). `ctx`, when
+  /// non-null, is the request's resilience context; retrieval faults that
+  /// escape the retriever's hedging degrade to a parametric answer here.
   [[nodiscard]] rag::WorkflowOutcome run_pipeline(
       const std::string& question,
-      std::unique_ptr<rag::RetrievalResult> retrieval);
+      std::unique_ptr<rag::RetrievalResult> retrieval,
+      resilience::RequestContext* ctx);
   void publish_queue_gauges();
 
   const rag::AugmentedWorkflow& workflow_;
@@ -167,6 +181,7 @@ class Server final : public rag::QuestionService {
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> computed_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> degraded_{0};
   std::atomic<bool> stopped_{false};
 };
 

@@ -84,6 +84,8 @@ std::vector<SearchResult> VectorStore::similarity_search(
   if (query.size() != dim_) {
     throw std::invalid_argument("similarity_search: dimension mismatch");
   }
+  pkb::resilience::consult(fault_plan_,
+                           pkb::resilience::Stage::VectorSearch);
   obs::MetricsRegistry& metrics = obs::global_metrics();
   metrics.counter(obs::kVectordbSearchesTotal).inc();
   pkb::util::Stopwatch watch;
@@ -113,6 +115,8 @@ std::vector<std::vector<SearchResult>> VectorStore::similarity_search_batch(
       throw std::invalid_argument("similarity_search_batch: dimension mismatch");
     }
   }
+  pkb::resilience::consult(fault_plan_,
+                           pkb::resilience::Stage::VectorSearch);
   obs::MetricsRegistry& metrics = obs::global_metrics();
   metrics.counter(obs::kVectordbBatchSearchesTotal).inc();
   metrics.counter(obs::kVectordbBatchQueriesTotal).inc(queries.size());

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "embed/embedder.h"
+#include "resilience/fault_plan.h"
 #include "text/document.h"
 
 namespace pkb::vectordb {
@@ -82,6 +83,17 @@ class VectorStore {
   /// Find the entry whose document id equals `id`; nullopt when absent.
   [[nodiscard]] std::optional<std::size_t> find_id(std::string_view id) const;
 
+  /// Attach a chaos plan consulted (Stage::VectorSearch) at each
+  /// similarity_search / similarity_search_batch entry: error decisions
+  /// throw the matching resilience::FaultError (latency spikes are ignored —
+  /// search time here is real, not simulated). Not persisted by save/load.
+  /// Setup-time only — must not race in-flight searches. Stores pinned in
+  /// rag snapshots are reached through const pointers, so the serving path
+  /// injects at the retriever instead; this hook serves direct store users.
+  void set_fault_plan(const pkb::resilience::FaultPlan* plan) {
+    fault_plan_ = plan;
+  }
+
   /// Persist to / restore from a binary file. Throws std::runtime_error on
   /// I/O errors or format mismatch: load() validates magic, version, counts
   /// and dimensions, and every read, so a truncated or corrupt file is a
@@ -105,6 +117,7 @@ class VectorStore {
   std::vector<text::Document> docs_;
   std::vector<embed::Vector> vecs_;
   std::size_t dim_ = 0;
+  const pkb::resilience::FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace pkb::vectordb
