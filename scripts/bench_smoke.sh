@@ -63,4 +63,10 @@ require_keys "$out_dir/BENCH_chaos.json" \
   config clean chaos faults_injected answered_rate degradation_rate \
   deadline_violations qps p99_seconds budget_spent_max_seconds
 
+run shard_scatter --docs 200 --dim 16 --queries 32 --threads 2 \
+  --shards 1,2,4 --output "$out_dir/BENCH_shards.json"
+require_keys "$out_dir/BENCH_shards.json" \
+  config equivalent results shards clean one_dead qps p50_seconds \
+  p99_seconds partial_rate answered_rate
+
 echo "bench_smoke: OK"

@@ -166,6 +166,9 @@ rag::SnapshotPtr Ingestor::build_and_publish_locked(
     next->chunks_at_fit = base->chunks_at_fit;
   }
   next->symbols = std::make_shared<lexical::SymbolIndex>(next->chunks);
+  // Sharded serving: the new generation carries its own router (built
+  // before publish, so no reader ever sees a snapshot without one).
+  next->attach_shard_router();
 
   std::unordered_set<std::string_view> sources;
   for (const text::Document& chunk : next->chunks) {

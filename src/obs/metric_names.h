@@ -60,6 +60,13 @@ inline constexpr std::string_view kServeRejectedTotal =
     "pkb_serve_rejected_total";
 inline constexpr std::string_view kServeCacheStaleTotal =
     "pkb_serve_cache_stale_total";
+inline constexpr std::string_view kShardQueriesTotal =
+    "pkb_shard_queries_total";
+inline constexpr std::string_view kShardScansTotal = "pkb_shard_scans_total";
+inline constexpr std::string_view kShardScanFailuresTotal =
+    "pkb_shard_scan_failures_total";
+inline constexpr std::string_view kShardPartialResultsTotal =
+    "pkb_shard_partial_results_total";
 inline constexpr std::string_view kIngestBuildsTotal =
     "pkb_ingest_builds_total";
 inline constexpr std::string_view kIngestDocsTotal = "pkb_ingest_docs_total";
@@ -92,6 +99,7 @@ inline constexpr std::string_view kIvfClusters = "pkb_ivf_clusters";
 inline constexpr std::string_view kServeQueueDepth = "pkb_serve_queue_depth";
 inline constexpr std::string_view kServeWorkers = "pkb_serve_workers";
 inline constexpr std::string_view kServeInflight = "pkb_serve_inflight";
+inline constexpr std::string_view kShardCount = "pkb_shard_count";
 inline constexpr std::string_view kKbGeneration = "pkb_kb_generation";
 inline constexpr std::string_view kKbChunks = "pkb_kb_chunks";
 inline constexpr std::string_view kResilienceBreakerState =
@@ -122,6 +130,10 @@ inline constexpr std::string_view kServeQueueWaitSeconds =
     "pkb_serve_queue_wait_seconds";
 inline constexpr std::string_view kServePipelineSeconds =
     "pkb_serve_pipeline_seconds";
+inline constexpr std::string_view kShardScatterSeconds =
+    "pkb_shard_scatter_seconds";
+inline constexpr std::string_view kShardMergeSeconds =
+    "pkb_shard_merge_seconds";
 inline constexpr std::string_view kKbSwapSeconds = "pkb_kb_swap_seconds";
 inline constexpr std::string_view kIngestBuildSeconds =
     "pkb_ingest_build_seconds";
@@ -146,6 +158,8 @@ inline constexpr std::string_view kSpanServeRequest = "serve_request";
 inline constexpr std::string_view kSpanServeBatch = "serve_batch";
 inline constexpr std::string_view kSpanVectorSearchBatch =
     "vector_search_batch";
+inline constexpr std::string_view kSpanShardScatter = "shard_scatter";
+inline constexpr std::string_view kSpanShardMerge = "shard_merge";
 inline constexpr std::string_view kSpanIngestBuild = "ingest_build";
 inline constexpr std::string_view kSpanKbSwap = "kb_swap";
 inline constexpr std::string_view kSpanRetry = "retry";

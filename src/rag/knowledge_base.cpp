@@ -10,6 +10,7 @@
 #include "util/binio.h"
 #include "util/clock.h"
 #include "util/log.h"
+#include "vectordb/shard_router.h"
 
 namespace pkb::rag {
 
@@ -47,6 +48,7 @@ KnowledgeBase KnowledgeBase::build(const text::VirtualDir& corpus,
   snap->symbols = std::make_shared<lexical::SymbolIndex>(snap->chunks);
   snap->embedder_fit_generation = 1;
   snap->chunks_at_fit = snap->chunks.size();
+  snap->attach_shard_router();
 
   PKB_LOG(Info, "rag") << "knowledge base built: generation 1, "
                        << snap->source_count << " documents, "
@@ -80,6 +82,14 @@ KnowledgeBase& KnowledgeBase::operator=(KnowledgeBase&& other) noexcept {
                std::memory_order_release);
   }
   return *this;
+}
+
+void Snapshot::attach_shard_router() {
+  if (opts.shards < 2) {
+    shards = nullptr;
+    return;
+  }
+  shards = vectordb::ShardRouter::partition(store, opts.shards);
 }
 
 double KnowledgeBase::publish(SnapshotPtr next) {
@@ -128,7 +138,9 @@ namespace {
 constexpr char kSnapshotMagic[4] = {'P', 'K', 'B', 'S'};
 constexpr char kChunkSectionMagic[4] = {'C', 'H', 'N', 'K'};
 constexpr char kSymbolSectionMagic[4] = {'S', 'Y', 'M', 'S'};
-constexpr std::uint32_t kSnapshotVersion = 1;
+// Version 2 appends opts.shards to the options block; version-1 files load
+// with shards = 0 (monolithic).
+constexpr std::uint32_t kSnapshotVersion = 2;
 
 void read_magic(std::istream& in, const char (&expect)[4], const char* what) {
   char magic[4] = {};
@@ -162,6 +174,7 @@ void Snapshot::save(const std::string& path) const {
   for (const std::string& sep : opts.splitter.separators) {
     bin::write_str(out, sep);
   }
+  bin::write_u64(out, opts.shards);
 
   store.save(out);
 
@@ -194,7 +207,7 @@ SnapshotPtr Snapshot::load(const std::string& path) {
   }
   read_magic(in, kSnapshotMagic, "snapshot header");
   const std::uint32_t version = bin::read_u32(in, "snapshot version");
-  if (version != kSnapshotVersion) {
+  if (version < 1 || version > kSnapshotVersion) {
     throw std::runtime_error("Snapshot::load: unsupported version " +
                              std::to_string(version));
   }
@@ -215,6 +228,8 @@ SnapshotPtr Snapshot::load(const std::string& path) {
   for (std::uint64_t i = 0; i < n_separators; ++i) {
     snap->opts.splitter.separators.push_back(bin::read_str(in, "separator"));
   }
+  snap->opts.shards =
+      version >= 2 ? bin::read_count(in, "shard count", /*max=*/1 << 16) : 0;
 
   snap->store = vectordb::VectorStore::load(in);
 
@@ -278,6 +293,7 @@ SnapshotPtr Snapshot::load(const std::string& path) {
     snap->chunks_at_fit = snap->chunks.size();
   }
   snap->embedder = std::move(embedder);
+  snap->attach_shard_router();
 
   PKB_LOG(Info, "rag") << "snapshot loaded: generation " << snap->generation
                        << ", " << snap->chunks.size() << " chunks from "

@@ -29,6 +29,10 @@
 #include "text/splitter.h"
 #include "vectordb/vector_store.h"
 
+namespace pkb::vectordb {
+class ShardRouter;
+}  // namespace pkb::vectordb
+
 namespace pkb::rag {
 
 /// Build configuration, shared by the initial build and every later
@@ -43,6 +47,13 @@ struct KnowledgeBaseOptions {
                                     .chunk_overlap = 100,
                                     .separators = {"\n\n", "\n", " ", ""},
                                     .keep_separator = false};
+  /// Vector-store partitions for scatter–gather retrieval. 0 or 1 keeps the
+  /// monolithic scan; >= 2 attaches a vectordb::ShardRouter to every
+  /// published snapshot and the Retriever fans queries out across shards
+  /// (bit-identical results; see vectordb/shard_router.h). The monolithic
+  /// `store` stays authoritative — the router is a derived read path, so
+  /// sharding costs one extra copy of the vectors.
+  std::size_t shards = 0;
 };
 
 /// Compat alias: the pre-generational name, still used across benches and
@@ -62,6 +73,14 @@ struct Snapshot {
   /// full refit (see embedder_fit_generation).
   std::shared_ptr<const embed::Embedder> embedder;
   vectordb::VectorStore store;
+  /// Scatter–gather partitions of `store` (null when opts.shards < 2). The
+  /// pointee is internally synchronized (breakers, dead flags), so the
+  /// chaos switches stay usable through a SnapshotPtr; the partition shape
+  /// itself is immutable. A pinned snapshot pins every shard of its
+  /// generation — a rolling shard swap publishes a new snapshot whose
+  /// router shares the untouched shard objects, so no reader ever sees a
+  /// mixed generation.
+  std::shared_ptr<vectordb::ShardRouter> shards;
   std::shared_ptr<const lexical::SymbolIndex> symbols;
   /// Number of source documents that contributed to `chunks`.
   std::size_t source_count = 0;
@@ -80,6 +99,11 @@ struct Snapshot {
   /// not serialized. Throws std::runtime_error on I/O failure.
   void save(const std::string& path) const;
   static std::shared_ptr<const Snapshot> load(const std::string& path);
+
+  /// (Re)build `shards` from `store` per opts.shards. Called by build(),
+  /// load(), and the ingestor after assembling a new generation; a no-op
+  /// (router cleared) when opts.shards < 2.
+  void attach_shard_router();
 };
 
 using SnapshotPtr = std::shared_ptr<const Snapshot>;

@@ -8,6 +8,7 @@
 #include "obs/trace.h"
 #include "util/clock.h"
 #include "util/thread_pool.h"
+#include "vectordb/shard_router.h"
 
 namespace pkb::rag {
 
@@ -83,6 +84,31 @@ auto Retriever::search_with_hedge(SearchFn&& search) const
       span.set_attr("attempt", static_cast<std::uint64_t>(attempt) + 1);
     }
   }
+}
+
+std::vector<vectordb::SearchResult> Retriever::first_pass_hits(
+    const Snapshot& snap, const embed::Vector& query_vec,
+    RetrievalResult& result) const {
+  namespace res = pkb::resilience;
+  if (snap.shards != nullptr) {
+    // Scatter–gather: hedging, fault consultation, and per-shard breakers
+    // live inside the router, so no search_with_hedge wrapper here. A lost
+    // shard degrades the result (partial, tagged); only every shard failing
+    // escalates to the caller's degradation ladder.
+    const vectordb::ScatterOptions sopts{fault_plan_, search_hedges_};
+    vectordb::Scatter sc =
+        snap.shards->search(query_vec, opts_.first_pass_k, nullptr, sopts);
+    if (sc.shards_total > 0 && sc.shards_failed == sc.shards_total) {
+      throw res::TransientError(res::Stage::VectorSearch,
+                                "shard scatter: every shard failed");
+    }
+    result.shards_failed = sc.shards_failed;
+    result.shards_total = sc.shards_total;
+    return std::move(sc.hits);
+  }
+  return search_with_hedge([&] {
+    return snap.store.similarity_search(query_vec, opts_.first_pass_k);
+  });
 }
 
 void Retriever::assemble_from_hits(
@@ -223,9 +249,7 @@ RetrievalResult Retriever::retrieve_on(const SnapshotPtr& snap,
   std::vector<vectordb::SearchResult> vector_hits;
   {
     obs::Span search_span(obs::global_tracer(), obs::kSpanVectorSearch);
-    vector_hits = search_with_hedge([&] {
-      return snap->store.similarity_search(query_vec, opts_.first_pass_k);
-    });
+    vector_hits = first_pass_hits(*snap, query_vec, result);
     search_span.set_attr("hits", vector_hits.size());
   }
   result.search_seconds = watch.seconds();
@@ -253,9 +277,7 @@ RetrievalResult Retriever::retrieve_with_embedding(
   std::vector<vectordb::SearchResult> vector_hits;
   {
     obs::Span search_span(obs::global_tracer(), obs::kSpanVectorSearch);
-    vector_hits = search_with_hedge([&] {
-      return snap->store.similarity_search(query_vec, opts_.first_pass_k);
-    });
+    vector_hits = first_pass_hits(*snap, query_vec, result);
     search_span.set_attr("hits", vector_hits.size());
   }
   result.search_seconds = watch.seconds();
@@ -299,13 +321,35 @@ std::vector<RetrievalResult> Retriever::retrieve_batch_with_embeddings(
   // One amortized scan for the whole batch.
   pkb::util::Stopwatch watch;
   std::vector<std::vector<vectordb::SearchResult>> all_hits;
+  std::size_t shards_failed = 0;
+  std::size_t shards_total = 0;
   {
     obs::Span span(obs::global_tracer(), obs::kSpanVectorSearchBatch);
     span.set_attr("queries", queries.size());
     span.set_attr("k", opts_.first_pass_k);
-    all_hits = search_with_hedge([&] {
-      return snap->store.similarity_search_batch(vecs, opts_.first_pass_k);
-    });
+    if (snap->shards != nullptr) {
+      // Sharded: every shard runs one amortized batch scan; shard losses
+      // are shared by the whole batch (see ShardRouter::search_batch).
+      const vectordb::ScatterOptions sopts{fault_plan_, search_hedges_};
+      std::vector<vectordb::Scatter> scatters =
+          snap->shards->search_batch(vecs, opts_.first_pass_k, nullptr,
+                                     sopts);
+      shards_failed = scatters[0].shards_failed;
+      shards_total = scatters[0].shards_total;
+      if (shards_total > 0 && shards_failed == shards_total) {
+        throw pkb::resilience::TransientError(
+            pkb::resilience::Stage::VectorSearch,
+            "shard scatter: every shard failed");
+      }
+      all_hits.reserve(scatters.size());
+      for (vectordb::Scatter& sc : scatters) {
+        all_hits.push_back(std::move(sc.hits));
+      }
+    } else {
+      all_hits = search_with_hedge([&] {
+        return snap->store.similarity_search_batch(vecs, opts_.first_pass_k);
+      });
+    }
   }
   const double search_total = watch.seconds();
 
@@ -320,6 +364,8 @@ std::vector<RetrievalResult> Retriever::retrieve_batch_with_embeddings(
     span.set_attr("generation", snap->generation);
     out[i].snapshot = snap;
     out[i].search_seconds = search_total / n;
+    out[i].shards_failed = shards_failed;
+    out[i].shards_total = shards_total;
     assemble_from_hits(*snap, queries[i], all_hits[i], out[i]);
     span.set_attr("candidates", out[i].first_pass.size());
     span.set_attr("kept", out[i].contexts.size());

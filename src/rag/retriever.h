@@ -58,6 +58,14 @@ struct RetrievalResult {
   /// The rerank stage failed (injected fault/timeout) and `contexts` is the
   /// unreranked first-pass order — the first rung of the degradation ladder.
   bool rerank_degraded = false;
+  /// Scatter–gather shard accounting (0/0 on the monolithic path). A
+  /// nonzero shards_failed tags the answer partial: the first pass covered
+  /// only the surviving shards' documents. All shards failing raises a
+  /// FaultError instead (degradation ladder: NoRetrieval), so shards_failed
+  /// < shards_total whenever a result is returned.
+  std::size_t shards_failed = 0;
+  std::size_t shards_total = 0;
+  [[nodiscard]] bool partial() const { return shards_failed > 0; }
   /// Total RAG processing time (embed + search + rerank).
   [[nodiscard]] double rag_seconds() const {
     return embed_seconds + search_seconds + rerank_seconds;
@@ -145,6 +153,15 @@ class Retriever {
   template <typename SearchFn>
   auto search_with_hedge(SearchFn&& search) const
       -> decltype(search());
+
+  /// First-pass vector hits for one query: the snapshot's ShardRouter when
+  /// sharding is on (per-shard hedging and breakers inside; shard losses
+  /// tagged on `result`), the monolithic hedged scan otherwise. Throws a
+  /// FaultError when no shard (or the single scan, past its hedges) could
+  /// answer.
+  [[nodiscard]] std::vector<vectordb::SearchResult> first_pass_hits(
+      const Snapshot& snap, const embed::Vector& query_vec,
+      RetrievalResult& result) const;
 
   const KnowledgeBase& kb_;
   RetrieverOptions opts_;

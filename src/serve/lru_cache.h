@@ -4,10 +4,14 @@
 // its own mutex, so concurrent workers mostly touch disjoint locks (the
 // sharded read-mostly-state pattern of the related HPC repos).
 //
-// Eviction: per-shard capacity (total capacity / shards, >= 1) evicts the
-// least-recently-used entry; a TTL (seconds, 0 = never) expires entries
-// lazily at lookup time. The time source is injectable so tests can drive
-// expiry deterministically.
+// Eviction: the total capacity is distributed across shards so per-shard
+// capacities sum to exactly `capacity` (the first capacity % shards shards
+// hold one extra entry; a capacity smaller than the shard count reduces the
+// shard count so every shard holds at least one entry — the cache never
+// silently provisions more or fewer entries than asked for). A full shard
+// evicts its least-recently-used entry; a TTL (seconds, 0 = never) expires
+// entries lazily at lookup time. The time source is injectable so tests can
+// drive expiry deterministically.
 
 #include <cstddef>
 #include <cstdint>
@@ -54,9 +58,20 @@ class ShardedLruCache {
       : opts_(std::move(opts)) {
     if (opts_.shards == 0) opts_.shards = 1;
     if (!opts_.clock) opts_.clock = steady_seconds;
-    per_shard_capacity_ =
-        std::max<std::size_t>(1, opts_.capacity / opts_.shards);
+    // Distribute the total capacity exactly: base entries per shard plus
+    // one extra for the first `capacity % shards` shards. When the
+    // capacity cannot give every shard an entry, shrink the shard count to
+    // the capacity instead of over-provisioning — the invariant is
+    // sum(shard capacities) == capacity <= max(capacity, shards).
+    if (opts_.capacity > 0 && opts_.capacity < opts_.shards) {
+      opts_.shards = opts_.capacity;
+    }
     shards_ = std::vector<Shard>(opts_.shards);
+    const std::size_t base = opts_.capacity / opts_.shards;
+    const std::size_t extra = opts_.capacity % opts_.shards;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      shards_[i].capacity = base + (i < extra ? 1 : 0);
+    }
   }
 
   /// Whole-cache enable check: capacity 0 disables caching entirely (every
@@ -114,7 +129,7 @@ class ShardedLruCache {
       return 0;
     }
     std::size_t evicted = 0;
-    if (shard.order.size() >= per_shard_capacity_) {
+    if (shard.order.size() >= shard.capacity) {
       const Entry& lru = shard.order.back();
       shard.index.erase(lru.key);
       shard.order.pop_back();
@@ -158,8 +173,15 @@ class ShardedLruCache {
   }
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
-  [[nodiscard]] std::size_t per_shard_capacity() const {
-    return per_shard_capacity_;
+  /// Capacity of shard `i`; shard capacities sum to total_capacity().
+  [[nodiscard]] std::size_t shard_capacity(std::size_t i) const {
+    return shards_.at(i).capacity;
+  }
+  /// Exactly the configured capacity (never rounded up or down).
+  [[nodiscard]] std::size_t total_capacity() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) total += shard.capacity;
+    return total;
   }
 
  private:
@@ -171,6 +193,7 @@ class ShardedLruCache {
   };
   struct Shard {
     mutable std::mutex mu;
+    std::size_t capacity = 0;
     std::list<Entry> order;  ///< front = most recently used
     std::unordered_map<K, typename std::list<Entry>::iterator> index;
     CacheStats stats;
@@ -184,7 +207,6 @@ class ShardedLruCache {
   }
 
   LruCacheOptions opts_;
-  std::size_t per_shard_capacity_ = 1;
   std::vector<Shard> shards_;
 };
 

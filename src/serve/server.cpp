@@ -139,7 +139,11 @@ std::vector<rag::WorkflowOutcome> Server::ask_batch(
   }
   span.set_attr("cache_hits", cache_hits);
   span.set_attr("unique_misses", unique_slots.size());
-  submitted_.fetch_add(questions.size(), std::memory_order_relaxed);
+  // Cache hits and in-batch duplicates are accepted right here; enqueued
+  // requests are counted one by one as their push succeeds, so a mid-batch
+  // queue close cannot overcount submissions.
+  submitted_.fetch_add(questions.size() - unique_slots.size(),
+                       std::memory_order_relaxed);
 
   // One amortized vector scan for every uncached unique question (Baseline
   // arm has no retriever — workers run the plain pipeline instead). The
@@ -179,21 +183,13 @@ std::vector<rag::WorkflowOutcome> Server::ask_batch(
         req.retrieval = std::make_unique<rag::RetrievalResult>(
             std::move(retrievals[i]));
       }
-      std::promise<rag::WorkflowOutcome> promise;
-      futures.push_back(promise.get_future());
-      req.promise = std::move(promise);
-      req.enqueue_seconds = steady_seconds();
-      if (!queue_.push(std::move(req))) reject();
+      enqueue(std::move(req), futures);
     }
   } else {
     for (std::size_t slot : unique_slots) {
       Request req;
       req.question = questions[slot];
-      std::promise<rag::WorkflowOutcome> promise;
-      futures.push_back(promise.get_future());
-      req.promise = std::move(promise);
-      req.enqueue_seconds = steady_seconds();
-      if (!queue_.push(std::move(req))) reject();
+      enqueue(std::move(req), futures);
     }
   }
   publish_queue_gauges();
@@ -236,10 +232,26 @@ embed::Vector Server::embed_memoized(const rag::Snapshot& snap,
   return vec;
 }
 
-void Server::reject() {
-  rejected_.fetch_add(1, std::memory_order_relaxed);
-  obs::global_metrics().counter(obs::kServeRejectedTotal).inc();
-  throw std::runtime_error("serve::Server is stopped");
+void Server::enqueue(Request req,
+                     std::vector<std::future<rag::WorkflowOutcome>>& futures) {
+  std::promise<rag::WorkflowOutcome> promise;
+  futures.push_back(promise.get_future());
+  req.promise = std::move(promise);
+  req.enqueue_seconds = steady_seconds();
+  if (!queue_.push(std::move(req))) {
+    // The closed queue consumed the request (and its promise); replace this
+    // slot's future with a cleanly failed one. Earlier requests of the same
+    // batch stay queued and are drained normally — a mid-batch close fails
+    // only the slots that were never accepted, never with broken_promise.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    obs::global_metrics().counter(obs::kServeRejectedTotal).inc();
+    std::promise<rag::WorkflowOutcome> failed;
+    failed.set_exception(std::make_exception_ptr(
+        std::runtime_error("serve::Server is stopped")));
+    futures.back() = failed.get_future();
+    return;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Server::worker_loop() {
@@ -279,6 +291,12 @@ void Server::process(Request& req) {
         ctxp = &ctx;
       }
       outcome = run_pipeline(req.question, std::move(req.retrieval), ctxp);
+      if (outcome.retrieval.shards_failed > 0) {
+        // Scatter–gather answered without every shard: the answer is
+        // usable but tagged partial (see rag::RetrievalResult).
+        partial_.fetch_add(1, std::memory_order_relaxed);
+        span.set_attr("partial_shards", outcome.retrieval.shards_failed);
+      }
       std::size_t evicted = 0;
       if (outcome.degraded()) {
         degraded_.fetch_add(1, std::memory_order_relaxed);
@@ -366,6 +384,7 @@ Server::Stats Server::stats() const {
   s.computed = computed_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.partial = partial_.load(std::memory_order_relaxed);
   s.answer_cache = answer_cache_.stats();
   s.embedding_cache = embedding_cache_.stats();
   s.queue_depth = queue_.size();

@@ -125,6 +125,7 @@ class Server final : public rag::QuestionService {
     std::uint64_t computed = 0;        ///< full pipeline executions
     std::uint64_t rejected = 0;        ///< submissions after stop()
     std::uint64_t degraded = 0;        ///< computed answers below Full
+    std::uint64_t partial = 0;         ///< answers missing >= 1 shard
     CacheStats answer_cache;
     CacheStats embedding_cache;
     std::size_t queue_depth = 0;
@@ -151,8 +152,13 @@ class Server final : public rag::QuestionService {
     embed::Vector vec;
   };
 
-  /// Account a post-stop submission and throw.
-  [[noreturn]] void reject();
+  /// Finish wiring `req` (promise + enqueue stamp) and push it. On a closed
+  /// queue the request's future is replaced by one failing with
+  /// std::runtime_error — the slot fails cleanly; requests already queued in
+  /// the same batch are unaffected. Only actually-enqueued requests count
+  /// toward `submitted_`.
+  void enqueue(Request req,
+               std::vector<std::future<rag::WorkflowOutcome>>& futures);
   void worker_loop();
   void process(Request& req);
   /// True when a cached outcome still reflects the current KnowledgeBase
@@ -182,6 +188,7 @@ class Server final : public rag::QuestionService {
   std::atomic<std::uint64_t> computed_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> partial_{0};
   std::atomic<bool> stopped_{false};
 };
 

@@ -1,0 +1,283 @@
+#include "vectordb/shard_router.h"
+
+#include <algorithm>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/clock.h"
+#include "util/thread_pool.h"
+
+namespace pkb::vectordb {
+
+namespace res = pkb::resilience;
+
+ShardRouter::Shard ShardRouter::make_shard(VectorStore store) const {
+  Shard shard;
+  shard.store = std::make_shared<const VectorStore>(std::move(store));
+  shard.breaker = std::make_shared<res::CircuitBreaker>(opts_.breaker,
+                                                        opts_.breaker_clock);
+  shard.dead = std::make_shared<std::atomic<bool>>(false);
+  return shard;
+}
+
+void ShardRouter::rebuild_offsets() {
+  offsets_.resize(shards_.size());
+  total_ = 0;
+  dim_ = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    offsets_[i] = total_;
+    total_ += shards_[i].store->size();
+    if (dim_ == 0) dim_ = shards_[i].store->dimension();
+  }
+}
+
+std::shared_ptr<ShardRouter> ShardRouter::partition(const VectorStore& store,
+                                                    std::size_t shards,
+                                                    ShardRouterOptions opts) {
+  if (shards == 0) {
+    throw std::invalid_argument("ShardRouter::partition: shards must be >= 1");
+  }
+  auto router = std::shared_ptr<ShardRouter>(new ShardRouter());
+  router->opts_ = std::move(opts);
+
+  // Contiguous balanced slices: shard i covers global indices
+  // [offset, offset + size), sizes differing by at most one. Vectors are
+  // copied pre-normalized so per-shard scores stay bit-identical.
+  const std::size_t n = store.size();
+  const std::size_t base = n / shards;
+  const std::size_t rem = n % shards;
+  std::size_t next = 0;
+  router->shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t count = base + (s < rem ? 1 : 0);
+    VectorStore slice(store.dimension());
+    for (std::size_t i = next; i < next + count; ++i) {
+      slice.add_prenormalized(store.doc(i), store.vec(i));
+    }
+    next += count;
+    router->shards_.push_back(router->make_shard(std::move(slice)));
+  }
+  router->rebuild_offsets();
+
+  std::size_t threads = router->opts_.scatter_threads;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = std::min<std::size_t>(shards, hw == 0 ? 1 : hw);
+  }
+  router->pool_ = std::make_shared<util::ThreadPool>(threads);
+
+  obs::global_metrics()
+      .gauge(obs::kShardCount)
+      .set(static_cast<double>(shards));
+  return router;
+}
+
+std::shared_ptr<ShardRouter> ShardRouter::with_shard_replaced(
+    std::size_t shard, VectorStore replacement) const {
+  if (shard >= shards_.size()) {
+    throw std::invalid_argument(
+        "ShardRouter::with_shard_replaced: shard out of range");
+  }
+  if (!replacement.empty() && dim_ != 0 &&
+      replacement.dimension() != dim_) {
+    throw std::invalid_argument(
+        "ShardRouter::with_shard_replaced: dimension mismatch");
+  }
+  auto router = std::shared_ptr<ShardRouter>(new ShardRouter());
+  router->opts_ = opts_;
+  router->pool_ = pool_;
+  router->shards_ = shards_;  // shares untouched stores/breakers/dead flags
+  router->shards_[shard] = make_shard(std::move(replacement));
+  router->rebuild_offsets();
+  return router;
+}
+
+const VectorStore& ShardRouter::shard(std::size_t i) const {
+  return *shards_.at(i).store;
+}
+
+std::size_t ShardRouter::shard_offset(std::size_t i) const {
+  return offsets_.at(i);
+}
+
+void ShardRouter::kill_shard(std::size_t i) {
+  shards_.at(i).dead->store(true, std::memory_order_release);
+}
+
+void ShardRouter::revive_shard(std::size_t i) {
+  shards_.at(i).dead->store(false, std::memory_order_release);
+}
+
+bool ShardRouter::shard_dead(std::size_t i) const {
+  return shards_.at(i).dead->load(std::memory_order_acquire);
+}
+
+res::CircuitBreaker::State ShardRouter::breaker_state(std::size_t i) const {
+  return shards_.at(i).breaker->state();
+}
+
+bool ShardRouter::scan_shard(std::size_t shard,
+                             const std::vector<embed::Vector>& queries,
+                             std::size_t k, const MetadataFilter* filter,
+                             const ScatterOptions& sopts,
+                             std::vector<std::vector<SearchResult>>& out)
+    const {
+  const Shard& sh = shards_[shard];
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  if (!sh.breaker->allow()) {
+    metrics
+        .counter(obs::kShardScanFailuresTotal, {{"reason", "breaker"}})
+        .inc();
+    return false;
+  }
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    metrics.counter(obs::kShardScansTotal).inc();
+    try {
+      if (sh.dead->load(std::memory_order_acquire)) {
+        throw res::TransientError(
+            res::Stage::VectorSearch,
+            "shard " + std::to_string(shard) + " is dead");
+      }
+      // One fault draw per query per attempt — the same ordinal accounting
+      // as the monolithic scan, so configured rates are batch-size
+      // independent. All ordinals are drawn even when an early one faults
+      // (the shard fails as a unit for the whole batch).
+      {
+        std::exception_ptr fault;
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+          try {
+            res::consult(sopts.plan, res::Stage::VectorSearch);
+          } catch (const res::FaultError&) {
+            if (!fault) fault = std::current_exception();
+          }
+        }
+        if (fault) std::rethrow_exception(fault);
+      }
+      std::vector<std::vector<SearchResult>> local;
+      if (queries.size() == 1) {
+        local.push_back(sh.store->similarity_search(queries[0], k, filter));
+      } else {
+        local = sh.store->similarity_search_batch(queries, k, filter);
+      }
+      sh.breaker->record_success();
+      // Map shard-local hit indices back into the global index space; the
+      // merge's (score desc, global index asc) order is then exactly the
+      // monolithic select_top_k order.
+      const std::size_t offset = offsets_[shard];
+      out.resize(queries.size());
+      for (std::size_t q = 0; q < local.size(); ++q) {
+        for (SearchResult& hit : local[q]) {
+          hit.index += offset;
+        }
+        out[q] = std::move(local[q]);
+      }
+      return true;
+    } catch (const res::FaultError&) {
+      sh.breaker->record_failure();
+      if (attempt >= sopts.hedges) {
+        metrics
+            .counter(obs::kShardScanFailuresTotal, {{"reason", "fault"}})
+            .inc();
+        return false;
+      }
+      obs::Span span(obs::global_tracer(), obs::kSpanHedge);
+      span.set_attr("stage", "shard_scan");
+      span.set_attr("shard", shard);
+      span.set_attr("attempt", static_cast<std::uint64_t>(attempt) + 1);
+    }
+  }
+}
+
+std::vector<Scatter> ShardRouter::search_batch(
+    const std::vector<embed::Vector>& queries, std::size_t k,
+    const MetadataFilter* filter, const ScatterOptions& sopts) const {
+  std::vector<Scatter> out(queries.size());
+  for (Scatter& sc : out) sc.shards_total = shards_.size();
+  if (queries.empty()) return out;
+  if (k == 0 || total_ == 0) return out;
+  for (const embed::Vector& q : queries) {
+    if (q.size() != dim_) {
+      throw std::invalid_argument("ShardRouter::search: dimension mismatch");
+    }
+  }
+
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  metrics.counter(obs::kShardQueriesTotal).inc(queries.size());
+
+  // --- scatter: every shard scans every query, in parallel. Shards 1..N-1
+  // run on the dedicated scatter pool; shard 0 on the calling thread (the
+  // same calling-thread-participates shape as util::parallel_for).
+  pkb::util::Stopwatch watch;
+  std::vector<std::vector<std::vector<SearchResult>>> per_shard(
+      shards_.size());
+  std::vector<char> shard_ok(shards_.size(), 0);
+  {
+    obs::Span span(obs::global_tracer(), obs::kSpanShardScatter);
+    span.set_attr("shards", shards_.size());
+    span.set_attr("queries", queries.size());
+    span.set_attr("k", k);
+    std::vector<std::future<void>> futures;
+    futures.reserve(shards_.size() - 1);
+    for (std::size_t s = 1; s < shards_.size(); ++s) {
+      futures.push_back(pool_->submit([this, s, &queries, k, filter, &sopts,
+                                       &per_shard, &shard_ok] {
+        shard_ok[s] =
+            scan_shard(s, queries, k, filter, sopts, per_shard[s]) ? 1 : 0;
+      }));
+    }
+    shard_ok[0] =
+        scan_shard(0, queries, k, filter, sopts, per_shard[0]) ? 1 : 0;
+    for (std::future<void>& f : futures) f.get();
+    std::size_t failed = 0;
+    for (char ok : shard_ok) failed += ok == 0 ? 1 : 0;
+    span.set_attr("failed", failed);
+    for (Scatter& sc : out) sc.shards_failed = failed;
+  }
+  metrics.histogram(obs::kShardScatterSeconds).observe(watch.seconds());
+  if (out[0].shards_failed > 0) {
+    metrics.counter(obs::kShardPartialResultsTotal).inc(queries.size());
+  }
+
+  // --- gather: merge surviving shards' top-k lists per query with the
+  // monolithic comparator and truncate to k. The global top-k is a subset
+  // of the union of per-shard top-k lists, so this reproduces the
+  // monolithic result bit-for-bit when no shard failed.
+  watch.reset();
+  {
+    obs::Span span(obs::global_tracer(), obs::kSpanShardMerge);
+    span.set_attr("queries", queries.size());
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      std::vector<SearchResult>& merged = out[q].hits;
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        if (shard_ok[s] == 0 || per_shard[s].empty()) continue;
+        merged.insert(merged.end(), per_shard[s][q].begin(),
+                      per_shard[s][q].end());
+      }
+      std::sort(merged.begin(), merged.end(),
+                [](const SearchResult& a, const SearchResult& b) {
+                  if (a.score != b.score) return a.score > b.score;
+                  return a.index < b.index;
+                });
+      if (merged.size() > k) merged.resize(k);
+    }
+  }
+  metrics.histogram(obs::kShardMergeSeconds).observe(watch.seconds());
+  return out;
+}
+
+Scatter ShardRouter::search(const embed::Vector& query, std::size_t k,
+                            const MetadataFilter* filter,
+                            const ScatterOptions& sopts) const {
+  std::vector<embed::Vector> queries;
+  queries.push_back(query);
+  std::vector<Scatter> out = search_batch(queries, k, filter, sopts);
+  return std::move(out[0]);
+}
+
+}  // namespace pkb::vectordb

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <exception>
 #include <fstream>
 #include <mutex>
 #include <stdexcept>
@@ -30,9 +31,11 @@ void VectorStore::add(text::Document doc, embed::Vector vec) {
 }
 
 void VectorStore::add_prenormalized(text::Document doc, embed::Vector vec) {
-  if (docs_.empty()) {
+  if (dim_ == 0 && docs_.empty()) {
     dim_ = vec.size();
   } else if (vec.size() != dim_) {
+    // Either a preset dimension (VectorStore(dim), an empty load()) or the
+    // dimension fixed by the first entry.
     throw std::invalid_argument("VectorStore::add: dimension mismatch");
   }
   docs_.push_back(std::move(doc));
@@ -115,8 +118,22 @@ std::vector<std::vector<SearchResult>> VectorStore::similarity_search_batch(
       throw std::invalid_argument("similarity_search_batch: dimension mismatch");
     }
   }
-  pkb::resilience::consult(fault_plan_,
-                           pkb::resilience::Stage::VectorSearch);
+  // One fault draw per query — the same ordinal accounting as the single
+  // path, so a configured fault rate is batch-size independent. All
+  // ordinals are drawn even when an early one faults (the batch fails as a
+  // unit), keeping FaultPlan::counts() identical to per-query scans.
+  {
+    std::exception_ptr fault;
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      try {
+        pkb::resilience::consult(fault_plan_,
+                                 pkb::resilience::Stage::VectorSearch);
+      } catch (const pkb::resilience::FaultError&) {
+        if (!fault) fault = std::current_exception();
+      }
+    }
+    if (fault) std::rethrow_exception(fault);
+  }
   obs::MetricsRegistry& metrics = obs::global_metrics();
   metrics.counter(obs::kVectordbBatchSearchesTotal).inc();
   metrics.counter(obs::kVectordbBatchQueriesTotal).inc(queries.size());
@@ -218,6 +235,10 @@ VectorStore VectorStore::load(std::istream& in) {
         "VectorStore::load: zero dimension with nonzero entry count");
   }
   VectorStore store;
+  // Restore the header dimension even when the store is empty: a saved
+  // dim-D empty store (e.g. an underfull shard slice) must reload as dim-D,
+  // not as a dim-0 store that would accept vectors of any size.
+  store.dim_ = static_cast<std::size_t>(dim);
   for (std::uint64_t i = 0; i < count; ++i) {
     text::Document doc;
     doc.id = bin::read_str(in, "entry id");

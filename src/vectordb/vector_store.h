@@ -36,6 +36,12 @@ class VectorStore {
  public:
   VectorStore() = default;
 
+  /// An empty store with its dimension fixed up front: add() and
+  /// add_prenormalized() then reject any other dimension from the first
+  /// entry on. The shard router builds slices this way so an underfull
+  /// partition (fewer documents than shards) still validates queries.
+  explicit VectorStore(std::size_t dim) : dim_(dim) {}
+
   /// Build a store by embedding every document with `embedder` (which must
   /// already be fitted). Mirrors Chroma.from_documents.
   static VectorStore from_documents(std::vector<text::Document> docs,

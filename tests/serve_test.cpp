@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "corpus/generator.h"
@@ -172,7 +174,8 @@ TEST(ShardedLruCache, ShardedCapacityAndStatsAggregation) {
   opts.shards = 4;
   ShardedLruCache<std::string, int> cache(opts);
   EXPECT_EQ(cache.shard_count(), 4u);
-  EXPECT_EQ(cache.per_shard_capacity(), 4u);
+  EXPECT_EQ(cache.shard_capacity(0), 4u);
+  EXPECT_EQ(cache.total_capacity(), 16u);
   for (int i = 0; i < 100; ++i) {
     cache.put("key-" + std::to_string(i), i);
   }
@@ -181,6 +184,69 @@ TEST(ShardedLruCache, ShardedCapacityAndStatsAggregation) {
   const CacheStats stats = cache.stats();
   EXPECT_EQ(stats.entries, cache.size());
   EXPECT_GE(stats.evictions, 100u - 16u);
+}
+
+// Regression: capacity / shards used to truncate (100/8 -> 12 per shard ->
+// 96 total), silently shrinking the cache. Capacities must now sum to
+// exactly the configured capacity, never exceeding max(capacity, shards).
+TEST(ShardedLruCache, CapacityDistributionIsExact) {
+  LruCacheOptions opts;
+  opts.capacity = 100;
+  opts.shards = 8;
+  ShardedLruCache<std::string, int> cache(opts);
+  EXPECT_EQ(cache.shard_count(), 8u);
+  EXPECT_EQ(cache.total_capacity(), 100u);
+  std::size_t sum = 0;
+  for (std::size_t i = 0; i < cache.shard_count(); ++i) {
+    EXPECT_GE(cache.shard_capacity(i), 12u);
+    EXPECT_LE(cache.shard_capacity(i), 13u);
+    sum += cache.shard_capacity(i);
+  }
+  EXPECT_EQ(sum, 100u);
+  EXPECT_LE(sum, std::max<std::size_t>(opts.capacity, opts.shards));
+}
+
+// Regression: capacity < shards used to over-provision to one entry per
+// shard (capacity 3, shards 8 -> up to 8 resident entries). The shard count
+// now shrinks so every shard holds >= 1 entry and the total stays exact.
+TEST(ShardedLruCache, CapacitySmallerThanShardsDoesNotOverProvision) {
+  LruCacheOptions opts;
+  opts.capacity = 3;
+  opts.shards = 8;
+  ShardedLruCache<std::string, int> cache(opts);
+  EXPECT_EQ(cache.shard_count(), 3u);
+  EXPECT_EQ(cache.total_capacity(), 3u);
+  for (std::size_t i = 0; i < cache.shard_count(); ++i) {
+    EXPECT_EQ(cache.shard_capacity(i), 1u);
+  }
+  for (int i = 0; i < 64; ++i) {
+    cache.put("key-" + std::to_string(i), i);
+  }
+  EXPECT_LE(cache.size(), 3u);
+  EXPECT_LE(cache.size(),
+            std::max<std::size_t>(opts.capacity, opts.shards));
+}
+
+// The resident-entry invariant holds across a sweep of shapes: fill well
+// past capacity and assert the cache never holds more than configured (and
+// can actually reach it when keys spread across shards).
+TEST(ShardedLruCache, ResidentEntriesNeverExceedConfiguredCapacity) {
+  for (const auto& [capacity, shards] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {1, 1}, {1, 8}, {5, 8}, {8, 2}, {17, 4}, {100, 8}, {64, 64}}) {
+    LruCacheOptions opts;
+    opts.capacity = capacity;
+    opts.shards = shards;
+    ShardedLruCache<std::string, int> cache(opts);
+    EXPECT_EQ(cache.total_capacity(), capacity)
+        << "capacity=" << capacity << " shards=" << shards;
+    for (int i = 0; i < 500; ++i) {
+      cache.put("key-" + std::to_string(i), i);
+    }
+    EXPECT_LE(cache.size(), capacity)
+        << "capacity=" << capacity << " shards=" << shards;
+    EXPECT_LE(cache.size(), std::max(capacity, shards));
+  }
 }
 
 // --- Server ---------------------------------------------------------------
@@ -367,6 +433,66 @@ TEST_F(ServeServerTest, StopDrainsThenRejectsLateSubmissions) {
                std::runtime_error);
   EXPECT_GE(server.stats().rejected, 1u);
   server.stop();  // idempotent
+}
+
+// Regression: a queue closed mid-batch used to throw out of the push loop,
+// abandoning the promises of batch slots and bumping `submitted` by the
+// whole batch size up front. Every rejected slot must now fail with the
+// clean runtime_error (never std::future_error/broken_promise), and only
+// actually-accepted requests may count as submitted.
+TEST_F(ServeServerTest, BatchOnStoppedServerFailsCleanlyAndCountsExactly) {
+  ServerOptions opts;
+  opts.workers = 2;
+  Server server(*workflow_, opts);
+  server.stop();
+  const std::vector<std::string> batch = {"never seen A?", "never seen B?",
+                                          "never seen C?"};
+  try {
+    (void)server.ask_batch(batch);
+    FAIL() << "expected std::runtime_error from the rejected batch";
+  } catch (const std::future_error& err) {
+    FAIL() << "broken promise leaked out of ask_batch: " << err.what();
+  } catch (const std::runtime_error& err) {
+    EXPECT_STREQ(err.what(), "serve::Server is stopped");
+  }
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 0u);  // nothing was accepted
+  EXPECT_EQ(stats.rejected, batch.size());
+  EXPECT_EQ(stats.computed, 0u);
+}
+
+// A stop() racing a batch must leave every slot either answered or failed
+// with the clean runtime_error, and the accounting exact: each unique slot
+// counts as submitted xor rejected.
+TEST_F(ServeServerTest, StopRacingBatchNeverBreaksPromises) {
+  for (int round = 0; round < 4; ++round) {
+    ServerOptions opts;
+    opts.workers = 2;
+    opts.answer_cache_capacity = 0;  // force every slot through the queue
+    Server server(*workflow_, opts);
+    std::vector<std::string> batch;
+    for (int i = 0; i < 8; ++i) {
+      batch.push_back("stop-race question " + std::to_string(round) + "-" +
+                      std::to_string(i) + "?");
+    }
+    std::thread stopper([&server, round] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(round * 2));
+      server.stop();
+    });
+    bool broken_promise = false;
+    try {
+      (void)server.ask_batch(batch);
+    } catch (const std::future_error&) {
+      broken_promise = true;
+    } catch (const std::runtime_error&) {
+      // Expected when stop() wins the race for some slot.
+    }
+    stopper.join();
+    EXPECT_FALSE(broken_promise) << "round " << round;
+    const Server::Stats stats = server.stats();
+    EXPECT_EQ(stats.submitted + stats.rejected, batch.size())
+        << "round " << round;
+  }
 }
 
 TEST_F(ServeServerTest, QuestionServiceInterfaceServesAnswers) {

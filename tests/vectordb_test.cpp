@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "embed/tfidf.h"
+#include "resilience/fault_plan.h"
 #include "util/rng.h"
 #include "vectordb/ivf.h"
 #include "vectordb/vector_store.h"
@@ -257,6 +258,92 @@ TEST(VectorStoreHardening, AddPrenormalizedKeepsVectorBitIdentical) {
   // Dimension checks still apply on the prenormalized path.
   EXPECT_THROW(copy.add_prenormalized({"b", "", {}}, {1.0f, 0.0f, 0.0f}),
                std::invalid_argument);
+}
+
+// Regression: load() never restored the header dimension when the store
+// was empty, so a saved dim-D empty store reloaded as dim-0 and accepted
+// vectors of any size from then on.
+TEST(VectorStoreHardening, EmptyStoreRoundTripKeepsDimension) {
+  const VectorStore empty(5);
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.dimension(), 5u);
+  VectorStore loaded = load_bytes(store_bytes(empty));
+  EXPECT_EQ(loaded.size(), 0u);
+  EXPECT_EQ(loaded.dimension(), 5u);
+  // The restored dimension is enforced, exactly as on the saved store.
+  EXPECT_THROW(loaded.add({"a", "", {}}, {1.0f, 2.0f}),
+               std::invalid_argument);
+  loaded.add({"a", "", {}}, Vector(5, 1.0f));
+  EXPECT_EQ(loaded.dimension(), 5u);
+}
+
+TEST(VectorStoreHardening, PresetDimensionConstructorEnforcesDim) {
+  VectorStore store(3);
+  EXPECT_EQ(store.dimension(), 3u);
+  EXPECT_TRUE(store.similarity_search(Vector(3, 1.0f), 4).empty());
+  EXPECT_THROW(store.add({"a", "", {}}, {1.0f, 2.0f}), std::invalid_argument);
+  store.add({"a", "", {}}, {1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(store.size(), 1u);
+}
+
+// Regression: similarity_search_batch drew ONE fault ordinal per batch
+// while the single path draws one per query, making injected fault rates
+// batch-size dependent. Both paths must now consume identical per-query
+// ordinals, so FaultPlan::counts() agrees between a batch of N and N
+// serial scans under the same seed.
+TEST(VectorStoreHardening, BatchFaultConsultMatchesSingleOrdinals) {
+  namespace res = pkb::resilience;
+  const std::size_t n_queries = 16;
+  std::vector<Vector> queries;
+  {
+    pkb::util::Rng rng(21);
+    for (std::size_t q = 0; q < n_queries; ++q) {
+      Vector v(8);
+      for (float& x : v) x = static_cast<float>(rng.normal());
+      queries.push_back(std::move(v));
+    }
+  }
+  res::FaultPlanOptions fopts;
+  fopts.seed = 42;
+  fopts.vector_search.transient_rate = 0.3;
+
+  // Serial: one consult per query.
+  res::FaultPlan serial_plan(fopts);
+  VectorStore serial_store = random_store(40, 8, 22);
+  serial_store.set_fault_plan(&serial_plan);
+  std::size_t serial_faults = 0;
+  for (const Vector& q : queries) {
+    try {
+      (void)serial_store.similarity_search(q, 4);
+    } catch (const res::FaultError&) {
+      ++serial_faults;
+    }
+  }
+
+  // Batched: the same per-query ordinal stream under the same seed.
+  res::FaultPlan batch_plan(fopts);
+  VectorStore batch_store = random_store(40, 8, 22);
+  batch_store.set_fault_plan(&batch_plan);
+  bool batch_faulted = false;
+  try {
+    (void)batch_store.similarity_search_batch(queries, 4);
+  } catch (const res::FaultError&) {
+    batch_faulted = true;
+  }
+
+  const res::FaultPlan::StageCounts serial_counts =
+      serial_plan.counts(res::Stage::VectorSearch);
+  const res::FaultPlan::StageCounts batch_counts =
+      batch_plan.counts(res::Stage::VectorSearch);
+  EXPECT_EQ(serial_counts.calls, n_queries);
+  EXPECT_EQ(batch_counts.calls, serial_counts.calls);
+  EXPECT_EQ(batch_counts.transient, serial_counts.transient);
+  EXPECT_EQ(batch_counts.permanent, serial_counts.permanent);
+  EXPECT_EQ(batch_counts.timeout, serial_counts.timeout);
+  // With a 30% rate over 16 draws at this seed some fault fires; the batch
+  // then fails as a unit even though ordinals were fully drawn.
+  EXPECT_GT(serial_faults, 0u);
+  EXPECT_TRUE(batch_faulted);
 }
 
 TEST(Ivf, EmptyStoreThrows) {
