@@ -69,4 +69,13 @@ require_keys "$out_dir/BENCH_shards.json" \
   config equivalent results shards clean one_dead qps p50_seconds \
   p99_seconds partial_rate answered_rate
 
+# Tiny corpus but a full sweep: the exactness and recall gates run for real
+# (ef 64 covers the whole 300-doc store, so the recall floor holds even at
+# smoke size) and a gate failure exits nonzero here.
+run ann_frontier --docs 300 --dim 16 --queries 32 --ef 16,64 --nprobe 1,4 \
+  --output "$out_dir/BENCH_ann.json"
+require_keys "$out_dir/BENCH_ann.json" \
+  config gates flat_exact default_recall ok results index quant param \
+  recall_at_k p50_seconds p99_seconds qps build_seconds backend
+
 echo "bench_smoke: OK"

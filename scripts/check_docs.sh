@@ -1,18 +1,26 @@
 #!/usr/bin/env bash
-# Contract check: every metric and span name defined in src/obs/metric_names.h
-# must be documented in docs/OBSERVABILITY.md. Wired into ctest as
-# `check_docs`; run standalone from anywhere:
+# Contract check between src/obs/metric_names.h and docs/OBSERVABILITY.md,
+# in BOTH directions:
 #
-#   scripts/check_docs.sh
+#   forward — every metric and span name defined in the header must be
+#             documented in the doc (adding a metric without documenting it
+#             fails the suite);
+#   reverse — every `pkb_*` metric name the doc mentions must exist in the
+#             header (documenting a metric that was renamed or removed —
+#             i.e. docs drifting ahead of or behind the code — also fails).
 #
-# Exits non-zero listing the undocumented names, if any. This is what keeps
-# the docs-first contract honest: adding a metric without documenting it
-# fails the test suite.
+# Wired into ctest as `check_docs`; run standalone from anywhere:
+#
+#   scripts/check_docs.sh [names_header] [doc]
+#
+# The optional arguments override the default file paths so the negative
+# fixtures in tests/check_docs_negative.sh can exercise both failure modes.
+# Exits non-zero listing the offending names, if any.
 set -u
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-names_header="$repo_root/src/obs/metric_names.h"
-doc="$repo_root/docs/OBSERVABILITY.md"
+names_header="${1:-$repo_root/src/obs/metric_names.h}"
+doc="${2:-$repo_root/docs/OBSERVABILITY.md}"
 
 if [[ ! -f "$names_header" ]]; then
   echo "check_docs: missing $names_header" >&2
@@ -41,14 +49,33 @@ count=0
 while IFS= read -r name; do
   count=$((count + 1))
   if ! grep -qF "$name" "$doc"; then
-    echo "check_docs: '$name' (src/obs/metric_names.h) is not documented" \
-      "in docs/OBSERVABILITY.md" >&2
+    echo "check_docs: '$name' ($(basename "$names_header")) is not" \
+      "documented in $(basename "$doc")" >&2
     missing=$((missing + 1))
   fi
 done <<< "$names"
 
-if [[ "$missing" -gt 0 ]]; then
-  echo "check_docs: FAIL — $missing of $count names undocumented" >&2
+# Reverse direction: every backticked `pkb_*` name in the doc must be a name
+# the header defines. Backticks scope the check to metric references (prose
+# like example_pkb_cli stays exempt). Span names are deliberately excluded —
+# they are generic words ("retrieve", "rerank") that prose uses freely.
+doc_names=$(grep -oE '`pkb_[a-z0-9_]+`' "$doc" | tr -d '`' | sort -u)
+stale=0
+doc_count=0
+while IFS= read -r name; do
+  [[ -z "$name" ]] && continue
+  doc_count=$((doc_count + 1))
+  if ! grep -qF "\"$name\"" "$names_header"; then
+    echo "check_docs: '$name' ($(basename "$doc")) does not exist in" \
+      "$(basename "$names_header") — stale or misspelled doc entry" >&2
+    stale=$((stale + 1))
+  fi
+done <<< "$doc_names"
+
+if [[ "$missing" -gt 0 || "$stale" -gt 0 ]]; then
+  echo "check_docs: FAIL — $missing of $count header names undocumented," \
+    "$stale of $doc_count documented names unknown" >&2
   exit 1
 fi
-echo "check_docs: OK — all $count metric/span names documented"
+echo "check_docs: OK — all $count metric/span names documented," \
+  "all $doc_count documented pkb_* names defined"

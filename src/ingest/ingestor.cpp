@@ -168,7 +168,7 @@ rag::SnapshotPtr Ingestor::build_and_publish_locked(
   next->symbols = std::make_shared<lexical::SymbolIndex>(next->chunks);
   // Sharded serving: the new generation carries its own router (built
   // before publish, so no reader ever sees a snapshot without one).
-  next->attach_shard_router();
+  next->attach_indexes();
 
   std::unordered_set<std::string_view> sources;
   for (const text::Document& chunk : next->chunks) {

@@ -31,6 +31,9 @@ inline constexpr std::string_view kVectordbBatchQueriesTotal =
     "pkb_vectordb_batch_queries_total";
 inline constexpr std::string_view kIvfSearchesTotal = "pkb_ivf_searches_total";
 inline constexpr std::string_view kIvfProbesTotal = "pkb_ivf_probes_total";
+inline constexpr std::string_view kAnnSearchesTotal = "pkb_ann_searches_total";
+inline constexpr std::string_view kAnnRerankCandidatesTotal =
+    "pkb_ann_rerank_candidates_total";
 inline constexpr std::string_view kLlmRequestsTotal = "pkb_llm_requests_total";
 inline constexpr std::string_view kLlmModeTotal = "pkb_llm_mode_total";
 inline constexpr std::string_view kLlmPromptTokensTotal =
@@ -96,6 +99,8 @@ inline constexpr std::string_view kResilienceIngestAbortsTotal =
 // --- gauges ---------------------------------------------------------------
 inline constexpr std::string_view kVectordbEntries = "pkb_vectordb_entries";
 inline constexpr std::string_view kIvfClusters = "pkb_ivf_clusters";
+inline constexpr std::string_view kAnnIndexEntries = "pkb_ann_index_entries";
+inline constexpr std::string_view kAnnGraphEdges = "pkb_ann_graph_edges";
 inline constexpr std::string_view kServeQueueDepth = "pkb_serve_queue_depth";
 inline constexpr std::string_view kServeWorkers = "pkb_serve_workers";
 inline constexpr std::string_view kServeInflight = "pkb_serve_inflight";
@@ -118,6 +123,8 @@ inline constexpr std::string_view kRerankSeconds = "pkb_rerank_seconds";
 inline constexpr std::string_view kVectordbSearchSeconds =
     "pkb_vectordb_search_seconds";
 inline constexpr std::string_view kIvfSearchSeconds = "pkb_ivf_search_seconds";
+inline constexpr std::string_view kAnnSearchSeconds = "pkb_ann_search_seconds";
+inline constexpr std::string_view kAnnBuildSeconds = "pkb_ann_build_seconds";
 inline constexpr std::string_view kEmbedBatchSeconds =
     "pkb_embed_batch_seconds";
 inline constexpr std::string_view kLlmSimLatencySeconds =
@@ -166,5 +173,7 @@ inline constexpr std::string_view kSpanRetry = "retry";
 inline constexpr std::string_view kSpanHedge = "hedge";
 inline constexpr std::string_view kSpanBreakerState = "breaker_state";
 inline constexpr std::string_view kSpanDegradedAnswer = "degraded_answer";
+inline constexpr std::string_view kSpanAnnSearch = "ann_search";
+inline constexpr std::string_view kSpanQuantizeRerank = "quantize_rerank";
 
 }  // namespace pkb::obs

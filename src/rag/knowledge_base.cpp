@@ -48,7 +48,7 @@ KnowledgeBase KnowledgeBase::build(const text::VirtualDir& corpus,
   snap->symbols = std::make_shared<lexical::SymbolIndex>(snap->chunks);
   snap->embedder_fit_generation = 1;
   snap->chunks_at_fit = snap->chunks.size();
-  snap->attach_shard_router();
+  snap->attach_indexes();
 
   PKB_LOG(Info, "rag") << "knowledge base built: generation 1, "
                        << snap->source_count << " documents, "
@@ -84,12 +84,20 @@ KnowledgeBase& KnowledgeBase::operator=(KnowledgeBase&& other) noexcept {
   return *this;
 }
 
-void Snapshot::attach_shard_router() {
+void Snapshot::attach_indexes() {
   if (opts.shards < 2) {
     shards = nullptr;
+    // Monolithic: one snapshot-level index (null for the identity spec).
+    ann = vectordb::build_index(store, opts.index);
     return;
   }
-  shards = vectordb::ShardRouter::partition(store, opts.shards);
+  // Sharded: per-shard indexes live inside the router; the snapshot-level
+  // handle stays null so there is exactly one ANN path per configuration.
+  ann = nullptr;
+  vectordb::ShardRouterOptions ropts;
+  ropts.index = opts.index;
+  shards = vectordb::ShardRouter::partition(store, opts.shards,
+                                            std::move(ropts));
 }
 
 double KnowledgeBase::publish(SnapshotPtr next) {
@@ -139,8 +147,10 @@ constexpr char kSnapshotMagic[4] = {'P', 'K', 'B', 'S'};
 constexpr char kChunkSectionMagic[4] = {'C', 'H', 'N', 'K'};
 constexpr char kSymbolSectionMagic[4] = {'S', 'Y', 'M', 'S'};
 // Version 2 appends opts.shards to the options block; version-1 files load
-// with shards = 0 (monolithic).
-constexpr std::uint32_t kSnapshotVersion = 2;
+// with shards = 0 (monolithic). Version 3 appends the IndexSpec (kind,
+// int8, rerank_factor, IVF and HNSW options); older files load with the
+// identity spec (flat fp32) — exactly their pre-index behavior.
+constexpr std::uint32_t kSnapshotVersion = 3;
 
 void read_magic(std::istream& in, const char (&expect)[4], const char* what) {
   char magic[4] = {};
@@ -175,6 +185,17 @@ void Snapshot::save(const std::string& path) const {
     bin::write_str(out, sep);
   }
   bin::write_u64(out, opts.shards);
+  bin::write_u32(out, static_cast<std::uint32_t>(opts.index.kind));
+  bin::write_u32(out, opts.index.int8 ? 1 : 0);
+  bin::write_u64(out, opts.index.rerank_factor);
+  bin::write_u64(out, opts.index.ivf.clusters);
+  bin::write_u64(out, opts.index.ivf.kmeans_iters);
+  bin::write_u64(out, opts.index.ivf.nprobe);
+  bin::write_u64(out, opts.index.ivf.seed);
+  bin::write_u64(out, opts.index.hnsw.m);
+  bin::write_u64(out, opts.index.hnsw.ef_construction);
+  bin::write_u64(out, opts.index.hnsw.ef_search);
+  bin::write_u64(out, opts.index.hnsw.seed);
 
   store.save(out);
 
@@ -230,6 +251,25 @@ SnapshotPtr Snapshot::load(const std::string& path) {
   }
   snap->opts.shards =
       version >= 2 ? bin::read_count(in, "shard count", /*max=*/1 << 16) : 0;
+  if (version >= 3) {
+    const std::uint32_t kind = bin::read_u32(in, "index kind");
+    if (kind > static_cast<std::uint32_t>(vectordb::IndexKind::Hnsw)) {
+      throw std::runtime_error("Snapshot::load: unknown index kind " +
+                               std::to_string(kind));
+    }
+    snap->opts.index.kind = static_cast<vectordb::IndexKind>(kind);
+    snap->opts.index.int8 = bin::read_u32(in, "index int8") != 0;
+    snap->opts.index.rerank_factor = bin::read_count(in, "rerank factor");
+    snap->opts.index.ivf.clusters = bin::read_count(in, "ivf clusters");
+    snap->opts.index.ivf.kmeans_iters = bin::read_count(in, "ivf iters");
+    snap->opts.index.ivf.nprobe = bin::read_count(in, "ivf nprobe");
+    snap->opts.index.ivf.seed = bin::read_u64(in, "ivf seed");
+    snap->opts.index.hnsw.m = bin::read_count(in, "hnsw m");
+    snap->opts.index.hnsw.ef_construction =
+        bin::read_count(in, "hnsw ef_construction");
+    snap->opts.index.hnsw.ef_search = bin::read_count(in, "hnsw ef_search");
+    snap->opts.index.hnsw.seed = bin::read_u64(in, "hnsw seed");
+  }
 
   snap->store = vectordb::VectorStore::load(in);
 
@@ -293,7 +333,7 @@ SnapshotPtr Snapshot::load(const std::string& path) {
     snap->chunks_at_fit = snap->chunks.size();
   }
   snap->embedder = std::move(embedder);
-  snap->attach_shard_router();
+  snap->attach_indexes();
 
   PKB_LOG(Info, "rag") << "snapshot loaded: generation " << snap->generation
                        << ", " << snap->chunks.size() << " chunks from "

@@ -27,6 +27,7 @@
 #include "lexical/keyword_search.h"
 #include "text/loader.h"
 #include "text/splitter.h"
+#include "vectordb/index.h"
 #include "vectordb/vector_store.h"
 
 namespace pkb::vectordb {
@@ -54,6 +55,12 @@ struct KnowledgeBaseOptions {
   /// `store` stays authoritative — the router is a derived read path, so
   /// sharding costs one extra copy of the vectors.
   std::size_t shards = 0;
+  /// ANN strategy for the snapshot's searches (vectordb/index.h): flat/IVF/
+  /// HNSW × optional int8 quantization with exact re-rank. The default
+  /// (flat fp32) builds no index and keeps the exact scan. Composes with
+  /// `shards`: a sharded snapshot builds one index per shard and merges
+  /// unchanged. Rebuilt per generation on every ingest publish.
+  vectordb::IndexSpec index;
 };
 
 /// Compat alias: the pre-generational name, still used across benches and
@@ -81,6 +88,10 @@ struct Snapshot {
   /// router shares the untouched shard objects, so no reader ever sees a
   /// mixed generation.
   std::shared_ptr<vectordb::ShardRouter> shards;
+  /// ANN index over `store` per opts.index (null for the identity spec or
+  /// when sharded — per-shard indexes live inside the router then). The
+  /// retriever routes first-pass searches through it when present.
+  std::shared_ptr<const vectordb::AnnIndex> ann;
   std::shared_ptr<const lexical::SymbolIndex> symbols;
   /// Number of source documents that contributed to `chunks`.
   std::size_t source_count = 0;
@@ -100,10 +111,12 @@ struct Snapshot {
   void save(const std::string& path) const;
   static std::shared_ptr<const Snapshot> load(const std::string& path);
 
-  /// (Re)build `shards` from `store` per opts.shards. Called by build(),
-  /// load(), and the ingestor after assembling a new generation; a no-op
-  /// (router cleared) when opts.shards < 2.
-  void attach_shard_router();
+  /// (Re)build the derived read paths from `store`: the shard router per
+  /// opts.shards (with per-shard ANN indexes per opts.index) and, when
+  /// monolithic, the snapshot-level ANN index. Called by build(), load(),
+  /// and the ingestor after assembling a new generation; clears both when
+  /// not configured.
+  void attach_indexes();
 };
 
 using SnapshotPtr = std::shared_ptr<const Snapshot>;

@@ -106,6 +106,11 @@ std::vector<vectordb::SearchResult> Retriever::first_pass_hits(
     result.shards_total = sc.shards_total;
     return std::move(sc.hits);
   }
+  if (snap.ann != nullptr) {
+    // Monolithic ANN path (opts.index): same hedging as the exact scan.
+    return search_with_hedge(
+        [&] { return snap.ann->search(query_vec, opts_.first_pass_k); });
+  }
   return search_with_hedge([&] {
     return snap.store.similarity_search(query_vec, opts_.first_pass_k);
   });
@@ -345,6 +350,10 @@ std::vector<RetrievalResult> Retriever::retrieve_batch_with_embeddings(
       for (vectordb::Scatter& sc : scatters) {
         all_hits.push_back(std::move(sc.hits));
       }
+    } else if (snap->ann != nullptr) {
+      all_hits = search_with_hedge([&] {
+        return snap->ann->search_batch(vecs, opts_.first_pass_k);
+      });
     } else {
       all_hits = search_with_hedge([&] {
         return snap->store.similarity_search_batch(vecs, opts_.first_pass_k);

@@ -1,0 +1,346 @@
+#include "vectordb/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace pkb::vectordb {
+
+namespace {
+
+/// Hard cap on graph height; levels are geometric so this is never reached
+/// in practice, it just bounds the arena math.
+constexpr std::size_t kMaxLevel = 24;
+
+using Scored = std::pair<float, std::uint32_t>;
+
+/// priority_queue comparator: top() = best (highest score, lowest id).
+struct BestFirst {
+  bool operator()(const Scored& a, const Scored& b) const {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second > b.second;
+  }
+};
+
+/// priority_queue comparator: top() = worst (lowest score, highest id) —
+/// evicting the top keeps the lowest ids among score ties, matching the
+/// flat scan's lower-index tie-break.
+struct WorstFirst {
+  bool operator()(const Scored& a, const Scored& b) const {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  }
+};
+
+void sort_best_first(std::vector<Scored>& v) {
+  std::sort(v.begin(), v.end(), [](const Scored& a, const Scored& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+}
+
+}  // namespace
+
+HnswIndex::HnswIndex(const VectorStore& store, HnswOptions opts,
+                     const Int8Codes* codes)
+    : store_(store), opts_(opts), codes_(codes) {
+  if (store_.empty()) {
+    throw std::invalid_argument("HnswIndex: empty store");
+  }
+  if (codes_ != nullptr && codes_->rows() != store_.size()) {
+    throw std::invalid_argument("HnswIndex: stale codes");
+  }
+  opts_.m = std::max<std::size_t>(2, opts_.m);
+  opts_.ef_construction = std::max(opts_.ef_construction, opts_.m + 1);
+  opts_.ef_search = std::max<std::size_t>(1, opts_.ef_search);
+  build();
+}
+
+float HnswIndex::node_score(const float* packed_query,
+                            const std::int8_t* query_codes, float query_scale,
+                            std::uint32_t id, bool approx) const {
+  if (approx) {
+    float s = 0.0f;
+    codes_->packed().score_range(query_codes, query_scale, id, id + 1, &s);
+    return s;
+  }
+  return store_.kernel_score(packed_query, id);
+}
+
+std::vector<Scored> HnswIndex::search_layer(const float* packed_query,
+                                            const std::int8_t* query_codes,
+                                            float query_scale,
+                                            std::uint32_t entry,
+                                            std::size_t ef, std::size_t layer,
+                                            bool approx) const {
+  std::vector<char> visited(store_.size(), 0);
+  std::priority_queue<Scored, std::vector<Scored>, BestFirst> cand;
+  std::priority_queue<Scored, std::vector<Scored>, WorstFirst> best;
+
+  const float es =
+      node_score(packed_query, query_codes, query_scale, entry, approx);
+  visited[entry] = 1;
+  cand.push({es, entry});
+  best.push({es, entry});
+
+  while (!cand.empty()) {
+    const Scored c = cand.top();
+    if (best.size() >= ef && c.first < best.top().first) break;
+    cand.pop();
+    const Links& links = links_[c.second][layer];
+    for (std::uint16_t e = 0; e < links.count; ++e) {
+      const std::uint32_t nb = links.nbr[e];
+      if (visited[nb]) continue;
+      visited[nb] = 1;
+      const float s =
+          node_score(packed_query, query_codes, query_scale, nb, approx);
+      if (best.size() < ef || WorstFirst{}(Scored{s, nb}, best.top())) {
+        cand.push({s, nb});
+        best.push({s, nb});
+        if (best.size() > ef) best.pop();
+      }
+    }
+  }
+
+  std::vector<Scored> out;
+  out.reserve(best.size());
+  while (!best.empty()) {
+    out.push_back(best.top());
+    best.pop();
+  }
+  sort_best_first(out);
+  return out;
+}
+
+void HnswIndex::select_neighbors(const std::vector<Scored>& candidates,
+                                 std::size_t cap, Links& out) const {
+  // The HNSW paper's diversity heuristic (Algorithm 4): walk the
+  // candidates best-first and keep one only if it is closer to the base
+  // point than to every already-kept neighbor. Naive nearest-m selection
+  // links redundant near-duplicates and recall collapses on high-dim data;
+  // the heuristic keeps the links spread, which is what makes the graph
+  // navigable. Rejected candidates backfill any spare capacity so nodes
+  // are not left under-connected.
+  const kernels::PackedF32& packed = store_.packed();
+  out.count = 0;
+  std::vector<std::uint32_t> rejected;
+  for (const Scored& c : candidates) {
+    if (out.count >= cap) break;
+    bool diverse = true;
+    for (std::uint16_t s = 0; s < out.count; ++s) {
+      const float to_selected = kernels::dot_f32(
+          packed.row(c.second), packed.row(out.nbr[s]), packed.stride());
+      if (to_selected > c.first) {
+        diverse = false;
+        break;
+      }
+    }
+    if (diverse) {
+      out.nbr[out.count++] = c.second;
+    } else {
+      rejected.push_back(c.second);
+    }
+  }
+  for (std::size_t r = 0; out.count < cap && r < rejected.size(); ++r) {
+    out.nbr[out.count++] = rejected[r];
+  }
+}
+
+void HnswIndex::insert(std::size_t node, std::size_t level,
+                       const float* packed_query) {
+  const auto id = static_cast<std::uint32_t>(node);
+  if (node == 0) {
+    entry_ = id;
+    max_level_ = level;
+    return;
+  }
+
+  std::uint32_t cur = entry_;
+  // Greedy descent through layers above the node's level.
+  for (std::size_t layer = max_level_; layer > level; --layer) {
+    bool moved = true;
+    float cur_score = node_score(packed_query, nullptr, 0.0f, cur, false);
+    while (moved) {
+      moved = false;
+      const Links& links = links_[cur][layer];
+      for (std::uint16_t e = 0; e < links.count; ++e) {
+        const std::uint32_t nb = links.nbr[e];
+        const float s = node_score(packed_query, nullptr, 0.0f, nb, false);
+        if (s > cur_score) {
+          cur_score = s;
+          cur = nb;
+          moved = true;
+        }
+      }
+    }
+  }
+
+  // Beam search and bidirectional linking on layers min(level, max) .. 0.
+  for (std::size_t layer = std::min(level, max_level_) + 1; layer-- > 0;) {
+    const std::vector<Scored> beam = search_layer(
+        packed_query, nullptr, 0.0f, cur, opts_.ef_construction, layer, false);
+    Links& mine = links_[node][layer];
+    select_neighbors(beam, mine.cap, mine);
+    // Link back; prune overful neighbor lists with the same heuristic.
+    const kernels::PackedF32& packed = store_.packed();
+    for (std::uint16_t e = 0; e < mine.count; ++e) {
+      const std::uint32_t nb = mine.nbr[e];
+      Links& theirs = links_[nb][layer];
+      if (theirs.count < theirs.cap) {
+        theirs.nbr[theirs.count++] = id;
+        continue;
+      }
+      std::vector<Scored> scored;
+      scored.reserve(theirs.count + 1U);
+      const float* nb_row = packed.row(nb);
+      scored.push_back(
+          {kernels::dot_f32(nb_row, packed.row(id), packed.stride()), id});
+      for (std::uint16_t t = 0; t < theirs.count; ++t) {
+        scored.push_back(
+            {kernels::dot_f32(nb_row, packed.row(theirs.nbr[t]),
+                              packed.stride()),
+             theirs.nbr[t]});
+      }
+      sort_best_first(scored);
+      select_neighbors(scored, theirs.cap, theirs);
+    }
+    if (!beam.empty()) cur = beam.front().second;
+  }
+
+  if (level > max_level_) {
+    entry_ = id;
+    max_level_ = level;
+  }
+}
+
+void HnswIndex::build() {
+  const std::size_t n = store_.size();
+  const kernels::PackedF32& packed = store_.packed();
+  util::Rng rng(opts_.seed);
+  const double mult = 1.0 / std::log(static_cast<double>(opts_.m));
+
+  // Assign levels and carve all adjacency lists up front (arena pointers
+  // never move, so linking can run over partially built nodes).
+  links_.resize(n);
+  std::vector<std::size_t> levels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = 1.0 - rng.uniform();  // (0, 1]
+    const auto level = std::min(
+        kMaxLevel, static_cast<std::size_t>(-std::log(u) * mult));
+    levels[i] = level;
+    links_[i].resize(level + 1);
+    for (std::size_t layer = 0; layer <= level; ++layer) {
+      const std::size_t cap = layer == 0 ? 2 * opts_.m : opts_.m;
+      links_[i][layer].nbr = arena_.alloc_array<std::uint32_t>(cap);
+      links_[i][layer].cap = static_cast<std::uint16_t>(cap);
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    insert(i, levels[i], packed.row(i));
+  }
+}
+
+std::vector<SearchResult> HnswIndex::search(const embed::Vector& query,
+                                            std::size_t k) const {
+  return search_ef(query, k, opts_.ef_search);
+}
+
+std::vector<SearchResult> HnswIndex::search_ef(const embed::Vector& query,
+                                               std::size_t k,
+                                               std::size_t ef) const {
+  if (k == 0) return {};
+  if (query.size() != store_.dimension()) {
+    throw std::invalid_argument("HnswIndex::search: dimension mismatch");
+  }
+  ef = std::max(ef, k);
+  embed::Vector q = query;
+  embed::l2_normalize(q);
+
+  const kernels::PackedF32& packed = store_.packed();
+  pkb::util::AlignedBuffer qbuf(packed.stride() * sizeof(float));
+  packed.pack_query(q.data(), qbuf.as<float>());
+  const float* pq = qbuf.as<float>();
+
+  const bool approx = codes_ != nullptr;
+  pkb::util::AlignedBuffer qcodes(approx ? codes_->packed().stride() : 1);
+  float qscale = 0.0f;
+  if (approx) {
+    qscale = codes_->quantize_query(q.data(), qcodes.as<std::int8_t>());
+  }
+  const std::int8_t* qc = qcodes.as<std::int8_t>();
+
+  // Greedy descent to layer 1, then a beam on layer 0.
+  std::uint32_t cur = entry_;
+  float cur_score = node_score(pq, qc, qscale, cur, approx);
+  for (std::size_t layer = max_level_; layer > 0; --layer) {
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      const Links& links = links_[cur][layer];
+      for (std::uint16_t e = 0; e < links.count; ++e) {
+        const std::uint32_t nb = links.nbr[e];
+        const float s = node_score(pq, qc, qscale, nb, approx);
+        if (s > cur_score) {
+          cur_score = s;
+          cur = nb;
+          moved = true;
+        }
+      }
+    }
+  }
+  const std::vector<Scored> beam =
+      search_layer(pq, qc, qscale, cur, ef, 0, approx);
+
+  // Exact fp32 scores on the way out — hits carry the flat scan's scores
+  // even when traversal ran on int8 approximations.
+  std::vector<SearchResult> hits;
+  hits.reserve(beam.size());
+  for (const Scored& s : beam) {
+    hits.push_back(SearchResult{s.second, store_.kernel_score(pq, s.second),
+                                &store_.doc(s.second)});
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const SearchResult& a, const SearchResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.index < b.index;
+            });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+double HnswIndex::recall_at_k(const std::vector<embed::Vector>& queries,
+                              std::size_t k) const {
+  if (queries.empty() || k == 0) return 1.0;
+  std::size_t found = 0;
+  std::size_t total = 0;
+  for (const embed::Vector& q : queries) {
+    const auto exact = store_.similarity_search(q, k);
+    const auto approx = search(q, k);
+    for (const SearchResult& e : exact) {
+      ++total;
+      for (const SearchResult& a : approx) {
+        if (a.index == e.index) {
+          ++found;
+          break;
+        }
+      }
+    }
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(found) / static_cast<double>(total);
+}
+
+std::size_t HnswIndex::edge_count() const {
+  std::size_t edges = 0;
+  for (const auto& node : links_) {
+    for (const Links& l : node) edges += l.count;
+  }
+  return edges;
+}
+
+}  // namespace pkb::vectordb

@@ -1,0 +1,120 @@
+#pragma once
+// HNSW (hierarchical navigable small world) graph index over a VectorStore.
+//
+// Build: every vector becomes a graph node with a geometrically distributed
+// top level (seeded RNG — builds are deterministic for a given store +
+// options). Insertion greedily descends from the global entry point through
+// the upper layers, then at each layer ≤ the node's level runs a beam
+// search of width `ef_construction` and links the node bidirectionally to
+// neighbors chosen by the paper's diversity heuristic (Algorithm 4: keep a
+// candidate only if it is closer to the new node than to any already-kept
+// neighbor — naive nearest-m linking collapses recall on high-dim data).
+// Layer 0 allows 2m links, upper layers m; overful neighbor lists are
+// re-selected with the same heuristic. Adjacency lists live in one
+// util::Arena — fixed-capacity arrays, no per-node malloc.
+//
+// Search: greedy descent through the upper layers to a good entry, then a
+// beam search of width ef (`ef_search`, overridable per call) on layer 0;
+// the best k of the beam are returned. Scores on returned hits are computed
+// with the store's fp32 kernels — the flat scan's exact expression — so
+// hits carry flat-scan-identical scores; only membership is approximate.
+// Cost is O(ef · log n) distance evaluations versus the flat scan's O(n).
+//
+// Optionally pass Int8Codes to traverse on quantized scores (≈4× less
+// memory traffic per hop) with the returned beam re-ranked exactly — the
+// HNSW × int8 cell of the bench/ann_frontier.cpp frontier.
+//
+// The index is immutable after construction; the store (and codes, when
+// given) must outlive it. Concurrent search() calls are safe — all scratch
+// is per-call.
+
+#include <cstdint>
+
+#include "util/arena.h"
+#include "vectordb/quantize.h"
+#include "vectordb/vector_store.h"
+
+namespace pkb::vectordb {
+
+/// HNSW build/search parameters.
+struct HnswOptions {
+  /// Max links per node on layers ≥ 1 (layer 0 allows 2m).
+  std::size_t m = 32;
+  /// Beam width during construction.
+  std::size_t ef_construction = 128;
+  /// Default beam width during search (≥ k for sensible recall).
+  std::size_t ef_search = 64;
+  /// RNG seed for level assignment.
+  std::uint64_t seed = 42;
+
+  bool operator==(const HnswOptions&) const = default;
+};
+
+/// Graph index bound to a VectorStore (which must outlive it and must not
+/// grow after construction).
+class HnswIndex {
+ public:
+  /// Build the graph. When `codes` is non-null, traversal scores are int8
+  /// approximations and the final beam is exactly re-ranked; the codes must
+  /// mirror `store` and outlive the index.
+  explicit HnswIndex(const VectorStore& store, HnswOptions opts = {},
+                     const Int8Codes* codes = nullptr);
+
+  /// Approximate top-k using the default beam width (options().ef_search).
+  [[nodiscard]] std::vector<SearchResult> search(const embed::Vector& query,
+                                                 std::size_t k) const;
+
+  /// Approximate top-k with an explicit beam width (clamped to ≥ k).
+  [[nodiscard]] std::vector<SearchResult> search_ef(const embed::Vector& query,
+                                                    std::size_t k,
+                                                    std::size_t ef) const;
+
+  /// Recall@k of this index vs exact search for the given queries.
+  [[nodiscard]] double recall_at_k(const std::vector<embed::Vector>& queries,
+                                   std::size_t k) const;
+
+  [[nodiscard]] const HnswOptions& options() const { return opts_; }
+  [[nodiscard]] std::size_t max_level() const { return max_level_; }
+  /// Total directed links across all layers.
+  [[nodiscard]] std::size_t edge_count() const;
+
+ private:
+  /// Fixed-capacity adjacency list for one node on one layer; `nbr` points
+  /// into arena_.
+  struct Links {
+    std::uint32_t* nbr = nullptr;
+    std::uint16_t count = 0;
+    std::uint16_t cap = 0;
+  };
+
+  void build();
+  void insert(std::size_t node, std::size_t level,
+              const float* packed_query);
+  /// Fill `out` with up to `cap` diverse neighbors from a best-first
+  /// candidate list (the paper's Algorithm-4 heuristic; scores in
+  /// `candidates` are similarities to the base point).
+  void select_neighbors(const std::vector<std::pair<float, std::uint32_t>>&
+                            candidates,
+                        std::size_t cap, Links& out) const;
+  /// Beam search of width ef on `layer` from `entry`; returns (score, id)
+  /// best-first. Scores are fp32 kernel scores during build and fp32
+  /// search; int8 approximations when codes_ is set and `approx` is true.
+  [[nodiscard]] std::vector<std::pair<float, std::uint32_t>> search_layer(
+      const float* packed_query, const std::int8_t* query_codes,
+      float query_scale, std::uint32_t entry, std::size_t ef,
+      std::size_t layer, bool approx) const;
+  [[nodiscard]] float node_score(const float* packed_query,
+                                 const std::int8_t* query_codes,
+                                 float query_scale, std::uint32_t id,
+                                 bool approx) const;
+
+  const VectorStore& store_;
+  HnswOptions opts_;
+  const Int8Codes* codes_ = nullptr;
+  util::Arena arena_;
+  std::vector<std::vector<Links>> links_;  ///< per node, layers 0..level
+  std::uint32_t entry_ = 0;
+  std::size_t max_level_ = 0;
+};
+
+}  // namespace pkb::vectordb

@@ -1,0 +1,170 @@
+#include "vectordb/index.h"
+
+#include <optional>
+#include <utility>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/clock.h"
+
+namespace pkb::vectordb {
+
+std::string IndexSpec::name() const {
+  std::string base;
+  switch (kind) {
+    case IndexKind::Flat:
+      base = "flat";
+      break;
+    case IndexKind::Ivf:
+      base = "ivf";
+      break;
+    case IndexKind::Hnsw:
+      base = "hnsw";
+      break;
+  }
+  if (int8) base += "_int8";
+  return base;
+}
+
+std::vector<std::vector<SearchResult>> AnnIndex::search_batch(
+    const std::vector<embed::Vector>& queries, std::size_t k) const {
+  std::vector<std::vector<SearchResult>> out;
+  out.reserve(queries.size());
+  for (const embed::Vector& q : queries) out.push_back(search(q, k));
+  return out;
+}
+
+namespace {
+
+/// Shared instrumentation shell: counts searches, times them, and opens the
+/// ann_search span around the concrete strategy.
+class InstrumentedIndex : public AnnIndex {
+ public:
+  InstrumentedIndex(std::string name, std::size_t entries)
+      : name_(std::move(name)), entries_(entries) {
+    obs::global_metrics()
+        .gauge(obs::kAnnIndexEntries)
+        .set(static_cast<double>(entries_));
+  }
+
+  [[nodiscard]] std::string_view name() const final { return name_; }
+
+  [[nodiscard]] std::vector<SearchResult> search(const embed::Vector& query,
+                                                 std::size_t k) const final {
+    obs::MetricsRegistry& metrics = obs::global_metrics();
+    metrics.counter(obs::kAnnSearchesTotal).inc();
+    pkb::util::Stopwatch watch;
+    obs::Span span(obs::global_tracer(), obs::kSpanAnnSearch);
+    span.set_attr("index", name_);
+    span.set_attr("k", static_cast<std::uint64_t>(k));
+    std::vector<SearchResult> hits = do_search(query, k);
+    span.set_attr("hits", static_cast<std::uint64_t>(hits.size()));
+    metrics.histogram(obs::kAnnSearchSeconds).observe(watch.seconds());
+    return hits;
+  }
+
+ protected:
+  [[nodiscard]] virtual std::vector<SearchResult> do_search(
+      const embed::Vector& query, std::size_t k) const = 0;
+
+ private:
+  std::string name_;
+  std::size_t entries_;
+};
+
+/// Flat scan over int8 codes with exact re-rank (kind=Flat, int8=true).
+class FlatInt8Index final : public InstrumentedIndex {
+ public:
+  FlatInt8Index(const VectorStore& store, const IndexSpec& spec)
+      : InstrumentedIndex(spec.name(), store.size()),
+        store_(store),
+        codes_(Int8Codes::build(store)),
+        rerank_(spec.rerank_factor) {}
+
+ private:
+  [[nodiscard]] std::vector<SearchResult> do_search(
+      const embed::Vector& query, std::size_t k) const override {
+    return quantized_search(store_, codes_, query, k, rerank_);
+  }
+
+  const VectorStore& store_;
+  Int8Codes codes_;
+  std::size_t rerank_;
+};
+
+/// IVF probing; optionally scans the probe set on int8 codes with exact
+/// re-rank instead of fp32.
+class IvfAnnIndex final : public InstrumentedIndex {
+ public:
+  IvfAnnIndex(const VectorStore& store, const IndexSpec& spec)
+      : InstrumentedIndex(spec.name(), store.size()),
+        store_(store),
+        ivf_(store, spec.ivf),
+        rerank_(spec.rerank_factor) {
+    if (spec.int8) codes_ = Int8Codes::build(store);
+  }
+
+ private:
+  [[nodiscard]] std::vector<SearchResult> do_search(
+      const embed::Vector& query, std::size_t k) const override {
+    if (!codes_.has_value()) return ivf_.search(query, k);
+    embed::Vector q = query;
+    embed::l2_normalize(q);
+    return quantized_search(store_, *codes_, q, k, rerank_,
+                            ivf_.probe_candidates(q));
+  }
+
+  const VectorStore& store_;
+  IvfIndex ivf_;
+  std::optional<Int8Codes> codes_;
+  std::size_t rerank_;
+};
+
+/// HNSW traversal; int8 mode traverses on codes and re-ranks the beam.
+class HnswAnnIndex final : public InstrumentedIndex {
+ public:
+  HnswAnnIndex(const VectorStore& store, const IndexSpec& spec)
+      : InstrumentedIndex(spec.name(), store.size()) {
+    if (spec.int8) codes_ = std::make_unique<Int8Codes>(Int8Codes::build(store));
+    hnsw_ = std::make_unique<HnswIndex>(store, spec.hnsw, codes_.get());
+    obs::global_metrics()
+        .gauge(obs::kAnnGraphEdges)
+        .set(static_cast<double>(hnsw_->edge_count()));
+  }
+
+ private:
+  [[nodiscard]] std::vector<SearchResult> do_search(
+      const embed::Vector& query, std::size_t k) const override {
+    return hnsw_->search(query, k);
+  }
+
+  std::unique_ptr<Int8Codes> codes_;  ///< must outlive hnsw_
+  std::unique_ptr<HnswIndex> hnsw_;
+};
+
+}  // namespace
+
+std::shared_ptr<const AnnIndex> build_index(const VectorStore& store,
+                                            const IndexSpec& spec) {
+  if (spec.is_flat_fp32() || store.empty()) return nullptr;
+  pkb::util::Stopwatch watch;
+  std::shared_ptr<const AnnIndex> index;
+  switch (spec.kind) {
+    case IndexKind::Flat:
+      index = std::make_shared<FlatInt8Index>(store, spec);
+      break;
+    case IndexKind::Ivf:
+      index = std::make_shared<IvfAnnIndex>(store, spec);
+      break;
+    case IndexKind::Hnsw:
+      index = std::make_shared<HnswAnnIndex>(store, spec);
+      break;
+  }
+  obs::global_metrics()
+      .histogram(obs::kAnnBuildSeconds)
+      .observe(watch.seconds());
+  return index;
+}
+
+}  // namespace pkb::vectordb

@@ -1,0 +1,89 @@
+#pragma once
+// Index selection — one handle over the ANN strategies in vectordb.
+//
+// `IndexSpec` names a point on the recall-vs-latency frontier: an index
+// kind (flat scan, IVF, HNSW) crossed with optional int8 quantization (+
+// exact re-rank). `build_index` turns a spec into an immutable `AnnIndex`
+// bound to a VectorStore; the generational KB stores a spec in
+// `rag::KnowledgeBaseOptions::index`, builds the index per Snapshot
+// (rebuilt on every ingest publish), and the retriever routes searches
+// through it. The ShardRouter composes the same way — one index per shard,
+// merge unchanged — because every index returns store-local hit indices
+// with flat-scan-exact fp32 scores.
+//
+// Flat+fp32 is the identity spec: build_index returns nullptr and callers
+// fall through to VectorStore::similarity_search, keeping the default
+// configuration byte-for-byte the pre-index behavior.
+//
+// All search() calls are instrumented here (pkb_ann_* metrics, the
+// `ann_search` span) so the strategies themselves stay mechanism-only.
+
+#include <memory>
+#include <string>
+
+#include "vectordb/hnsw.h"
+#include "vectordb/ivf.h"
+#include "vectordb/quantize.h"
+#include "vectordb/vector_store.h"
+
+namespace pkb::vectordb {
+
+/// Which ANN strategy serves a snapshot's searches.
+enum class IndexKind : std::uint8_t {
+  Flat = 0,  ///< exact scan (the default)
+  Ivf = 1,   ///< inverted-file clusters (ivf.h)
+  Hnsw = 2,  ///< navigable small-world graph (hnsw.h)
+};
+
+/// A point on the recall-vs-latency frontier. Persisted with snapshots
+/// (rag snapshot format v3), so keep fields append-only.
+struct IndexSpec {
+  IndexKind kind = IndexKind::Flat;
+  /// Scan int8 codes and exactly re-rank k × rerank_factor survivors.
+  bool int8 = false;
+  /// Survivor multiplier for the int8 re-rank (≥ 1).
+  std::size_t rerank_factor = 4;
+  IvfOptions ivf;
+  HnswOptions hnsw;
+
+  /// The identity spec — no index is built, callers use the flat scan.
+  [[nodiscard]] bool is_flat_fp32() const {
+    return kind == IndexKind::Flat && !int8;
+  }
+
+  /// Stable label for metrics and bench output: "flat", "ivf_int8", ...
+  [[nodiscard]] std::string name() const;
+
+  bool operator==(const IndexSpec&) const = default;
+};
+
+/// An immutable search index over one VectorStore. Implementations return
+/// store-local indices with exact fp32 scores (the flat scan's expression),
+/// which is what lets the ShardRouter merge hits from per-shard indexes
+/// with the monolithic comparator.
+class AnnIndex {
+ public:
+  virtual ~AnnIndex() = default;
+
+  /// The spec's name() this index was built from.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Approximate top-k (query need not be normalized).
+  [[nodiscard]] virtual std::vector<SearchResult> search(
+      const embed::Vector& query, std::size_t k) const = 0;
+
+  /// Batched search; default loops search(). Results per query are
+  /// identical to the single-query path.
+  [[nodiscard]] virtual std::vector<std::vector<SearchResult>> search_batch(
+      const std::vector<embed::Vector>& queries, std::size_t k) const;
+};
+
+/// Build the index `spec` describes over `store`. Returns nullptr for the
+/// identity spec (flat + fp32) and for an empty store — callers fall back
+/// to the flat scan. The store must outlive the returned index. Emits
+/// pkb_ann_build_seconds and the pkb_ann_index_entries / pkb_ann_graph_edges
+/// gauges.
+[[nodiscard]] std::shared_ptr<const AnnIndex> build_index(
+    const VectorStore& store, const IndexSpec& spec);
+
+}  // namespace pkb::vectordb

@@ -115,21 +115,16 @@ void IvfIndex::build() {
       .set(static_cast<double>(centroids_.size()));
 }
 
-std::vector<SearchResult> IvfIndex::search(const embed::Vector& query,
-                                           std::size_t k) const {
-  if (k == 0) return {};
-  obs::MetricsRegistry& metrics = obs::global_metrics();
-  metrics.counter(obs::kIvfSearchesTotal).inc();
-  pkb::util::Stopwatch watch;
-  embed::Vector q = query;
-  embed::l2_normalize(q);
-
-  // Rank clusters by centroid similarity.
+std::vector<std::size_t> IvfIndex::probe_candidates(
+    const embed::Vector& normalized_query) const {
+  // Rank clusters by centroid similarity (kernel dot over the unpadded
+  // dimension — probe ORDER only; hit scores come from the store kernels).
   std::vector<std::size_t> cluster_order(centroids_.size());
   for (std::size_t c = 0; c < centroids_.size(); ++c) cluster_order[c] = c;
   std::vector<float> cscore(centroids_.size());
   for (std::size_t c = 0; c < centroids_.size(); ++c) {
-    cscore[c] = embed::dot(q, centroids_[c]);
+    cscore[c] = kernels::dot_f32(normalized_query.data(),
+                                 centroids_[c].data(), centroids_[c].size());
   }
   const std::size_t probes = std::min(opts_.nprobe, centroids_.size());
   std::partial_sort(cluster_order.begin(),
@@ -139,11 +134,37 @@ std::vector<SearchResult> IvfIndex::search(const embed::Vector& query,
                       return a < b;
                     });
 
-  std::vector<SearchResult> hits;
+  std::vector<std::size_t> candidates;
   for (std::size_t p = 0; p < probes; ++p) {
-    for (std::size_t i : buckets_[cluster_order[p]]) {
-      hits.push_back(SearchResult{i, embed::dot(q, store_.vec(i)), &store_.doc(i)});
-    }
+    const auto& bucket = buckets_[cluster_order[p]];
+    candidates.insert(candidates.end(), bucket.begin(), bucket.end());
+  }
+  return candidates;
+}
+
+std::vector<SearchResult> IvfIndex::search(const embed::Vector& query,
+                                           std::size_t k) const {
+  if (k == 0) return {};
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  metrics.counter(obs::kIvfSearchesTotal).inc();
+  pkb::util::Stopwatch watch;
+  embed::Vector q = query;
+  embed::l2_normalize(q);
+
+  const std::size_t probes = std::min(opts_.nprobe, centroids_.size());
+  const std::vector<std::size_t> candidates = probe_candidates(q);
+
+  // Score the probed entries with the store's packed kernels — the exact
+  // flat-scan expression, so every hit's score is flat-scan-identical.
+  const kernels::PackedF32& packed = store_.packed();
+  pkb::util::AlignedBuffer qbuf(packed.stride() * sizeof(float));
+  packed.pack_query(q.data(), qbuf.as<float>());
+  std::vector<SearchResult> hits;
+  hits.reserve(candidates.size());
+  for (std::size_t i : candidates) {
+    hits.push_back(
+        SearchResult{i, store_.kernel_score(qbuf.as<float>(), i),
+                     &store_.doc(i)});
   }
   std::sort(hits.begin(), hits.end(), [](const SearchResult& a,
                                          const SearchResult& b) {

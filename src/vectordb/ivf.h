@@ -1,9 +1,26 @@
 #pragma once
 // IVF (inverted file) approximate nearest-neighbor index over a VectorStore.
 //
-// K-means clusters the stored vectors; a query probes only the `nprobe`
-// nearest clusters. Trades recall for speed — the micro benchmark
-// bench/micro_vectordb sweeps the trade-off.
+// Build: k-means++ seeds `clusters` centroids (seeded RNG — builds are
+// deterministic for a given store + options), Lloyd iterations refine them,
+// and every stored vector lands in the bucket of its nearest centroid. A
+// query then ranks centroids by similarity and scans only the `nprobe`
+// nearest buckets, trading recall for speed: cost drops from O(n) to
+// roughly O(clusters + n·nprobe/clusters) per query.
+//
+// Scoring runs through the store's SIMD kernels (vectordb/kernels.h): the
+// query is packed once and bucket entries are scored with the exact same
+// expression the flat scan uses, so hits carry flat-scan-identical scores —
+// only membership can differ (a true neighbor whose bucket was not probed).
+// `probe_candidates()` exposes the probe set so quantize.h can compose IVF
+// pruning with int8 scanning + exact re-rank; `recall_at_k()` measures the
+// recall cost of a given `nprobe`, and bench/ann_frontier.cpp sweeps the
+// whole frontier into BENCH_ann.json.
+//
+// The index is immutable after construction and holds a reference to its
+// store, which must outlive it and must not grow after build — the
+// generational KB satisfies both by rebuilding indexes per Snapshot
+// (ingest/ingestor.cpp → rag::Snapshot::attach_indexes).
 
 #include <cstdint>
 
@@ -21,6 +38,8 @@ struct IvfOptions {
   std::size_t nprobe = 4;
   /// RNG seed for centroid initialization (k-means++).
   std::uint64_t seed = 42;
+
+  bool operator==(const IvfOptions&) const = default;
 };
 
 /// Approximate index bound to a VectorStore (which must outlive it and must
@@ -35,6 +54,13 @@ class IvfIndex {
   /// Approximate top-k: probes the `nprobe` nearest clusters.
   [[nodiscard]] std::vector<SearchResult> search(const embed::Vector& query,
                                                  std::size_t k) const;
+
+  /// Entry ids of the `nprobe` nearest buckets for an already-normalized
+  /// query, in probe order (ids within a bucket keep store order). This is
+  /// the candidate set search() scores; quantize.h feeds it to the int8
+  /// scan so IVF pruning and quantized scoring compose.
+  [[nodiscard]] std::vector<std::size_t> probe_candidates(
+      const embed::Vector& normalized_query) const;
 
   /// Recall@k of this index vs exact search for the given queries (fraction
   /// of exact top-k hits the index also returned).

@@ -1,0 +1,244 @@
+#include "vectordb/kernels.h"
+
+#include <cmath>
+
+#if defined(__x86_64__) && !defined(PKB_FORCE_SCALAR)
+#include <immintrin.h>
+#define PKB_KERNELS_X86 1
+#elif defined(__aarch64__) && !defined(PKB_FORCE_SCALAR)
+#include <arm_neon.h>
+#define PKB_KERNELS_NEON 1
+#endif
+
+namespace pkb::vectordb::kernels {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar backend — the portable reference. Sequential double accumulation is
+// exactly the embed::dot contract; int32 accumulation is exact, so the int8
+// kernel is the reference AND the specification for the SIMD backends.
+// ---------------------------------------------------------------------------
+
+float dot_f32_scalar(const float* a, const float* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return static_cast<float>(acc);
+}
+
+std::int32_t dot_i8_scalar(const std::int8_t* a, const std::int8_t* b,
+                           std::size_t n) {
+  std::int32_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<std::int32_t>(a[i]) * b[i];
+  }
+  return acc;
+}
+
+#if defined(PKB_KERNELS_X86)
+
+// ---------------------------------------------------------------------------
+// AVX2 backend. The fp32 kernel widens each 8-float step to two 4-double
+// lanes and FMAs into double accumulators: float*float products are exact in
+// double, so precision matches the scalar path (both round once, to float,
+// at the end); only the association order differs, which top-k selection
+// tolerates because every score in a process comes from this same kernel.
+// The int8 kernel sign-extends to i16 and uses madd_epi16 (i16*i16 pairs
+// summed into i32) — exact integer math, bit-identical to the scalar loop.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2,fma"))) float dot_f32_avx2(const float* a,
+                                                       const float* b,
+                                                       std::size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    acc_lo = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(va)),
+                             _mm256_cvtps_pd(_mm256_castps256_ps128(vb)),
+                             acc_lo);
+    acc_hi = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(va, 1)),
+                             _mm256_cvtps_pd(_mm256_extractf128_ps(vb, 1)),
+                             acc_hi);
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, _mm256_add_pd(acc_lo, acc_hi));
+  double acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return static_cast<float>(acc);
+}
+
+__attribute__((target("avx2"))) std::int32_t dot_i8_avx2(const std::int8_t* a,
+                                                         const std::int8_t* b,
+                                                         std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i a_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(va));
+    const __m256i a_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(va, 1));
+    const __m256i b_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(vb));
+    const __m256i b_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(vb, 1));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a_lo, b_lo));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a_hi, b_hi));
+  }
+  alignas(32) std::int32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::int32_t sum = 0;
+  for (std::int32_t lane : lanes) sum += lane;
+  for (; i < n; ++i) {
+    sum += static_cast<std::int32_t>(a[i]) * b[i];
+  }
+  return sum;
+}
+
+#elif defined(PKB_KERNELS_NEON)
+
+// NEON backend (aarch64). float64x2 accumulation mirrors the AVX2 shape:
+// widen 4-float steps to two 2-double lanes; int8 via vmull_s8 → i16 pairs
+// accumulated with vpadalq into i32 (exact).
+
+float dot_f32_neon(const float* a, const float* b, std::size_t n) {
+  float64x2_t acc_lo = vdupq_n_f64(0.0);
+  float64x2_t acc_hi = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t va = vld1q_f32(a + i);
+    const float32x4_t vb = vld1q_f32(b + i);
+    acc_lo = vfmaq_f64(acc_lo, vcvt_f64_f32(vget_low_f32(va)),
+                       vcvt_f64_f32(vget_low_f32(vb)));
+    acc_hi = vfmaq_f64(acc_hi, vcvt_f64_f32(vget_high_f32(va)),
+                       vcvt_f64_f32(vget_high_f32(vb)));
+  }
+  double acc = vaddvq_f64(acc_lo) + vaddvq_f64(acc_hi);
+  for (; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return static_cast<float>(acc);
+}
+
+std::int32_t dot_i8_neon(const std::int8_t* a, const std::int8_t* b,
+                         std::size_t n) {
+  int32x4_t acc = vdupq_n_s32(0);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const int8x16_t va = vld1q_s8(a + i);
+    const int8x16_t vb = vld1q_s8(b + i);
+    acc = vpadalq_s16(acc, vmull_s8(vget_low_s8(va), vget_low_s8(vb)));
+    acc = vpadalq_s16(acc, vmull_s8(vget_high_s8(va), vget_high_s8(vb)));
+  }
+  std::int32_t sum = vaddvq_s32(acc);
+  for (; i < n; ++i) {
+    sum += static_cast<std::int32_t>(a[i]) * b[i];
+  }
+  return sum;
+}
+
+#endif
+
+// ---------------------------------------------------------------------------
+// Dispatch: resolved once per process at first kernel use. All scores in a
+// process therefore come from one backend — the invariant the bit-exactness
+// gates (single vs batch, shard vs monolithic, rerank vs flat) rest on.
+// ---------------------------------------------------------------------------
+
+using DotF32Fn = float (*)(const float*, const float*, std::size_t);
+using DotI8Fn = std::int32_t (*)(const std::int8_t*, const std::int8_t*,
+                                 std::size_t);
+
+struct Backend {
+  DotF32Fn dot_f32;
+  DotI8Fn dot_i8;
+  std::string_view name;
+};
+
+Backend select_backend() {
+#if defined(PKB_KERNELS_X86)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Backend{dot_f32_avx2, dot_i8_avx2, "avx2"};
+  }
+#elif defined(PKB_KERNELS_NEON)
+  return Backend{dot_f32_neon, dot_i8_neon, "neon"};
+#endif
+  return Backend{dot_f32_scalar, dot_i8_scalar, "scalar"};
+}
+
+const Backend& backend() {
+  static const Backend b = select_backend();
+  return b;
+}
+
+}  // namespace
+
+std::string_view backend_name() { return backend().name; }
+
+float dot_f32(const float* a, const float* b, std::size_t n) {
+  return backend().dot_f32(a, b, n);
+}
+
+void dots_f32(const float* query, const float* rows_base, std::size_t rows,
+              std::size_t stride, float* out) {
+  const DotF32Fn dot = backend().dot_f32;
+  for (std::size_t r = 0; r < rows; ++r) {
+    out[r] = dot(query, rows_base + r * stride, stride);
+  }
+}
+
+std::int32_t dot_i8(const std::int8_t* a, const std::int8_t* b,
+                    std::size_t n) {
+  return backend().dot_i8(a, b, n);
+}
+
+// ---------------------------------------------------------------------------
+// Packed layouts.
+// ---------------------------------------------------------------------------
+
+void PackedF32::append(const float* row) {
+  buf_.resize((rows_ + 1) * stride_ * sizeof(float));
+  float* dst = buf_.as<float>() + rows_ * stride_;
+  for (std::size_t d = 0; d < dim_; ++d) dst[d] = row[d];
+  // Tail lanes [dim_, stride_) are zero via AlignedBuffer's zero-fill.
+  ++rows_;
+}
+
+void PackedF32::pack_query(const float* query, float* scratch) const {
+  std::size_t d = 0;
+  for (; d < dim_; ++d) scratch[d] = query[d];
+  for (; d < stride_; ++d) scratch[d] = 0.0f;
+}
+
+void PackedF32::score_range(const float* packed_query, std::size_t begin,
+                            std::size_t end, float* out) const {
+  dots_f32(packed_query, row(begin), end - begin, stride_, out);
+}
+
+void PackedI8::append(const std::int8_t* codes, float scale) {
+  buf_.resize((rows_ + 1) * stride_ * sizeof(std::int8_t));
+  std::int8_t* dst = buf_.as<std::int8_t>() + rows_ * stride_;
+  for (std::size_t d = 0; d < dim_; ++d) dst[d] = codes[d];
+  scales_.push_back(scale);
+  ++rows_;
+}
+
+void PackedI8::score_range(const std::int8_t* query_codes, float query_scale,
+                           std::size_t begin, std::size_t end,
+                           float* out) const {
+  const DotI8Fn dot = backend().dot_i8;
+  const std::int8_t* base = buf_.as<std::int8_t>();
+  for (std::size_t r = begin; r < end; ++r) {
+    out[r - begin] = query_scale * scales_[r] *
+                     static_cast<float>(
+                         dot(query_codes, base + r * stride_, stride_));
+  }
+}
+
+}  // namespace pkb::vectordb::kernels

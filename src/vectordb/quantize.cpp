@@ -1,0 +1,136 @@
+#include "vectordb/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pkb::vectordb {
+
+namespace {
+
+/// Quantize one fp32 row into `out` (length dim, caller zero-pads the
+/// tail). Symmetric: scale = maxabs/127, codes clamped to [-127, 127].
+/// An all-zero row gets scale 1 so dequantization stays exact (0 * 1 = 0).
+float quantize_row(const float* row, std::size_t dim, std::int8_t* out) {
+  float maxabs = 0.0f;
+  for (std::size_t d = 0; d < dim; ++d) {
+    maxabs = std::max(maxabs, std::fabs(row[d]));
+  }
+  const float scale = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
+  const float inv = 1.0f / scale;
+  for (std::size_t d = 0; d < dim; ++d) {
+    const long q = std::lroundf(row[d] * inv);
+    out[d] = static_cast<std::int8_t>(std::clamp(q, -127L, 127L));
+  }
+  return scale;
+}
+
+}  // namespace
+
+Int8Codes Int8Codes::build(const VectorStore& store) {
+  Int8Codes codes;
+  codes.codes_ = kernels::PackedI8(store.dimension());
+  std::vector<std::int8_t> row(store.dimension());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    const float scale =
+        quantize_row(store.vec(i).data(), store.dimension(), row.data());
+    codes.codes_.append(row.data(), scale);
+  }
+  return codes;
+}
+
+float Int8Codes::quantize_query(const float* query,
+                                std::int8_t* codes_out) const {
+  const float scale = quantize_row(query, codes_.dim(), codes_out);
+  for (std::size_t d = codes_.dim(); d < codes_.stride(); ++d) {
+    codes_out[d] = 0;
+  }
+  return scale;
+}
+
+std::vector<std::size_t> approx_top(const Int8Codes& codes,
+                                    const std::int8_t* query_codes,
+                                    float query_scale, std::size_t m,
+                                    const std::vector<std::size_t>& candidates) {
+  const kernels::PackedI8& packed = codes.packed();
+  std::vector<std::size_t> order;
+  std::vector<float> approx;
+  if (candidates.empty()) {
+    order.resize(packed.rows());
+    for (std::size_t i = 0; i < packed.rows(); ++i) order[i] = i;
+    approx.resize(packed.rows());
+    packed.score_range(query_codes, query_scale, 0, packed.rows(),
+                       approx.data());
+  } else {
+    order = candidates;
+    approx.resize(packed.rows());
+    for (std::size_t i : candidates) {
+      packed.score_range(query_codes, query_scale, i, i + 1, &approx[i]);
+    }
+  }
+  const std::size_t keep = std::min(m, order.size());
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(keep),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      if (approx[a] != approx[b]) return approx[a] > approx[b];
+                      return a < b;
+                    });
+  order.resize(keep);
+  return order;
+}
+
+std::vector<SearchResult> quantized_search(
+    const VectorStore& store, const Int8Codes& codes,
+    const embed::Vector& query, std::size_t k, std::size_t rerank_factor,
+    const std::vector<std::size_t>& candidates) {
+  if (k == 0 || store.empty()) return {};
+  if (query.size() != store.dimension()) {
+    throw std::invalid_argument("quantized_search: dimension mismatch");
+  }
+  if (codes.rows() != store.size()) {
+    throw std::invalid_argument("quantized_search: stale codes");
+  }
+  rerank_factor = std::max<std::size_t>(1, rerank_factor);
+
+  embed::Vector q = query;
+  embed::l2_normalize(q);
+
+  // Approximate pass over the int8 codes: pick the survivor set.
+  pkb::util::AlignedBuffer qcodes(codes.packed().stride());
+  const float qscale = codes.quantize_query(q.data(), qcodes.as<std::int8_t>());
+  const std::vector<std::size_t> survivors = approx_top(
+      codes, qcodes.as<std::int8_t>(), qscale, k * rerank_factor, candidates);
+
+  // Exact fp32 re-rank of the survivors with the flat scan's kernel, so the
+  // final scores (and selection) match VectorStore::similarity_search
+  // whenever the survivors cover the true top-k.
+  obs::Span span(obs::global_tracer(), obs::kSpanQuantizeRerank);
+  span.set_attr("survivors", static_cast<std::uint64_t>(survivors.size()));
+  span.set_attr("k", static_cast<std::uint64_t>(k));
+  obs::global_metrics()
+      .counter(obs::kAnnRerankCandidatesTotal)
+      .inc(survivors.size());
+
+  const kernels::PackedF32& packed = store.packed();
+  pkb::util::AlignedBuffer qbuf(packed.stride() * sizeof(float));
+  packed.pack_query(q.data(), qbuf.as<float>());
+  std::vector<SearchResult> hits;
+  hits.reserve(survivors.size());
+  for (std::size_t i : survivors) {
+    hits.push_back(SearchResult{i, store.kernel_score(qbuf.as<float>(), i),
+                                &store.doc(i)});
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const SearchResult& a, const SearchResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.index < b.index;
+            });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+}  // namespace pkb::vectordb

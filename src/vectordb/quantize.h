@@ -1,0 +1,68 @@
+#pragma once
+// Int8 scalar quantization with exact fp32 re-rank.
+//
+// `Int8Codes` mirrors a VectorStore as a packed int8 matrix: each vector is
+// quantized symmetrically with its own scale (maxabs/127), so a dot product
+// of two code rows times the two scales approximates the fp32 dot. The
+// approximate scan runs ~4× less memory traffic than fp32 and uses the
+// exact-integer kernels in kernels.h, so it is bit-identical across
+// scalar/AVX2/NEON backends by construction.
+//
+// Approximation never reaches the caller: `quantized_search` scans codes
+// only to pick k × rerank_factor survivors, then re-scores the survivors
+// with the store's fp32 kernel (the flat scan's exact expression) and
+// selects the final top-k from those exact scores. Whenever the survivor
+// set covers the true top-k — which it does at any reasonable
+// rerank_factor; bench/ann_frontier.cpp gates it — the result is
+// bit-identical to `VectorStore::similarity_search`, scores included. The
+// property test in tests/ann_test.cpp asserts this across seeds and
+// dimensions.
+//
+// The codes are immutable after build() and hold no store reference; pair
+// them with the store they were built from (the Snapshot pattern keeps the
+// two consistent).
+
+#include <cstdint>
+#include <vector>
+
+#include "vectordb/vector_store.h"
+
+namespace pkb::vectordb {
+
+/// Packed int8 mirror of a store's vectors.
+class Int8Codes {
+ public:
+  /// Quantize every row of `store` (symmetric per-vector maxabs scaling).
+  [[nodiscard]] static Int8Codes build(const VectorStore& store);
+
+  /// Quantize one query into `codes_out` (must hold packed().stride()
+  /// bytes; tail is zeroed) and return its dequantization scale.
+  [[nodiscard]] float quantize_query(const float* query,
+                                     std::int8_t* codes_out) const;
+
+  [[nodiscard]] const kernels::PackedI8& packed() const { return codes_; }
+  [[nodiscard]] std::size_t rows() const { return codes_.rows(); }
+  [[nodiscard]] std::size_t dim() const { return codes_.dim(); }
+
+ private:
+  kernels::PackedI8 codes_;
+};
+
+/// Indices of the top-`m` rows of `candidates` by approximate int8 score
+/// (descending, lower index breaking ties). Empty `candidates` means "all
+/// rows". `query_codes`/`query_scale` come from Int8Codes::quantize_query.
+[[nodiscard]] std::vector<std::size_t> approx_top(
+    const Int8Codes& codes, const std::int8_t* query_codes, float query_scale,
+    std::size_t m, const std::vector<std::size_t>& candidates = {});
+
+/// Int8 candidate scan + exact fp32 re-rank: scans `codes` (restricted to
+/// `candidates` when non-empty) for the top k × rerank_factor survivors,
+/// re-scores them with the store's exact kernel, and returns the top-k by
+/// exact score (flat-scan tie-break). Emits the `quantize_rerank` span and
+/// pkb_ann_rerank_candidates_total. `query` need not be normalized.
+[[nodiscard]] std::vector<SearchResult> quantized_search(
+    const VectorStore& store, const Int8Codes& codes,
+    const embed::Vector& query, std::size_t k, std::size_t rerank_factor,
+    const std::vector<std::size_t>& candidates = {});
+
+}  // namespace pkb::vectordb

@@ -20,6 +20,10 @@ namespace res = pkb::resilience;
 ShardRouter::Shard ShardRouter::make_shard(VectorStore store) const {
   Shard shard;
   shard.store = std::make_shared<const VectorStore>(std::move(store));
+  // Each shard gets its own index over its slice (null for the identity
+  // spec). with_shard_replaced calls back in here for the replacement
+  // shard only, so a rolling swap rebuilds exactly one index.
+  shard.index = build_index(*shard.store, opts_.index);
   shard.breaker = std::make_shared<res::CircuitBreaker>(opts_.breaker,
                                                         opts_.breaker_clock);
   shard.dead = std::make_shared<std::atomic<bool>>(false);
@@ -159,8 +163,17 @@ bool ShardRouter::scan_shard(std::size_t shard,
         }
         if (fault) std::rethrow_exception(fault);
       }
+      // Route through the shard's ANN index when one exists; metadata
+      // filters force the exact scan (candidate sets are not filter-aware).
       std::vector<std::vector<SearchResult>> local;
-      if (queries.size() == 1) {
+      const bool filtered = filter != nullptr && *filter;
+      if (sh.index != nullptr && !filtered) {
+        if (queries.size() == 1) {
+          local.push_back(sh.index->search(queries[0], k));
+        } else {
+          local = sh.index->search_batch(queries, k);
+        }
+      } else if (queries.size() == 1) {
         local.push_back(sh.store->similarity_search(queries[0], k, filter));
       } else {
         local = sh.store->similarity_search_batch(queries, k, filter);

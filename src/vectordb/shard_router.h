@@ -10,9 +10,10 @@
 // would deadlock; see util/thread_pool.h), then the per-shard top-k lists
 // are merged with exactly the monolithic comparator (score descending,
 // global index ascending). Because shard vectors are copied pre-normalized
-// and scored with the same embed::dot the monolithic scan uses, the merged
-// result is bit-identical to VectorStore::similarity_search on the unsharded
-// store — indices, scores, and order.
+// and scored with the same SIMD kernels (vectordb/kernels.h) the monolithic
+// scan uses, the merged result is bit-identical to
+// VectorStore::similarity_search on the unsharded store — indices, scores,
+// and order.
 //
 // Partition tolerance reuses the resilience layer per shard: each shard has
 // its own CircuitBreaker and a kill switch (kill_shard); a scan that faults
@@ -21,6 +22,16 @@
 // with that shard's documents missing — instead of failing the request.
 // Everything is observable under pkb_shard_* and the shard_scatter /
 // shard_merge spans (docs/OBSERVABILITY.md).
+//
+// Index composition: ShardRouterOptions::index carries an IndexSpec
+// (index.h); each shard builds its own AnnIndex over its slice at
+// construction, and scans route through it (per-shard ANN, merge
+// unchanged). This composes because every index returns shard-local hit
+// indices with flat-scan-exact fp32 scores — after the offset remap the
+// merge comparator cannot tell indexed hits from scanned ones. The
+// identity spec (flat fp32) builds no index and scans the stores directly.
+// Metadata filters bypass per-shard indexes (ANN candidate sets are not
+// filter-aware); filtered scatters use the exact scan.
 //
 // Generational use: rag::Snapshot owns at most one router, built from the
 // snapshot's store at publish time. Routers are immutable in shape;
@@ -37,6 +48,7 @@
 
 #include "resilience/fault_plan.h"
 #include "resilience/policy.h"
+#include "vectordb/index.h"
 #include "vectordb/vector_store.h"
 
 namespace pkb::util {
@@ -53,6 +65,9 @@ struct ShardRouterOptions {
   resilience::Clock breaker_clock;
   /// Scatter pool width; 0 = one thread per shard (capped to hardware).
   std::size_t scatter_threads = 0;
+  /// ANN spec built per shard over its slice (index.h). The identity spec
+  /// (flat fp32, the default) builds nothing and shards scan exactly.
+  IndexSpec index;
 };
 
 /// Per-query knobs for one scatter, mirroring the Retriever's hedged search:
@@ -131,6 +146,9 @@ class ShardRouter {
  private:
   struct Shard {
     std::shared_ptr<const VectorStore> store;
+    /// Per-shard ANN index (null for the identity spec); owned alongside
+    /// the store so a derived router shares both or neither.
+    std::shared_ptr<const AnnIndex> index;
     std::shared_ptr<resilience::CircuitBreaker> breaker;
     std::shared_ptr<std::atomic<bool>> dead;
   };

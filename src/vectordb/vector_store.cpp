@@ -38,6 +38,10 @@ void VectorStore::add_prenormalized(text::Document doc, embed::Vector vec) {
     // dimension fixed by the first entry.
     throw std::invalid_argument("VectorStore::add: dimension mismatch");
   }
+  if (packed_.rows() == 0 && packed_.dim() != dim_) {
+    packed_ = kernels::PackedF32(dim_);
+  }
+  packed_.append(vec.data());
   docs_.push_back(std::move(doc));
   vecs_.push_back(std::move(vec));
   obs::global_metrics()
@@ -95,11 +99,16 @@ std::vector<SearchResult> VectorStore::similarity_search(
   embed::Vector q = query;
   embed::l2_normalize(q);
 
-  // Score in parallel, then select top-k with a partial sort.
+  // Score the packed SoA block in parallel with the SIMD kernels, then
+  // select top-k with a partial sort. The query is packed once (padded,
+  // aligned) so every row dot runs over the same lane layout.
+  pkb::util::AlignedBuffer qbuf(packed_.stride() * sizeof(float));
+  packed_.pack_query(q.data(), qbuf.as<float>());
+  const float* pq = qbuf.as<float>();
   std::vector<float> scores(docs_.size());
   pkb::util::parallel_for(
       0, docs_.size(),
-      [&](std::size_t i) { scores[i] = embed::dot(q, vecs_[i]); },
+      [&](std::size_t i) { scores[i] = kernel_score(pq, i); },
       /*min_block=*/256);
 
   std::vector<SearchResult> out = select_top_k(scores, k, filter);
@@ -142,18 +151,24 @@ std::vector<std::vector<SearchResult>> VectorStore::similarity_search_batch(
   std::vector<embed::Vector> qs = queries;
   for (embed::Vector& q : qs) embed::l2_normalize(q);
 
-  // One blocked pass over the stored vectors: each block of documents is
-  // loaded once and scored against every query, so memory traffic is
-  // amortized across the batch instead of repeated per query. dot(q, v) is
+  // One blocked pass over the packed vectors: each block of rows is loaded
+  // once and scored against every query, so memory traffic is amortized
+  // across the batch instead of repeated per query. kernel_score(q, i) is
   // the exact expression the single search evaluates, so the score matrix
   // (and therefore the selection) is bit-identical to per-query scans.
+  pkb::util::AlignedBuffer qbuf(qs.size() * packed_.stride() * sizeof(float));
+  for (std::size_t qi = 0; qi < qs.size(); ++qi) {
+    packed_.pack_query(qs[qi].data(),
+                       qbuf.as<float>() + qi * packed_.stride());
+  }
   std::vector<std::vector<float>> scores(qs.size());
   for (auto& row : scores) row.resize(docs_.size());
   pkb::util::parallel_for(
       0, docs_.size(),
       [&](std::size_t i) {
         for (std::size_t qi = 0; qi < qs.size(); ++qi) {
-          scores[qi][i] = embed::dot(qs[qi], vecs_[i]);
+          scores[qi][i] = kernel_score(
+              qbuf.as<float>() + qi * packed_.stride(), i);
         }
       },
       /*min_block=*/64);

@@ -2,9 +2,11 @@
 // Vector database — the Chroma equivalent of §III-A.
 //
 // Stores (document, embedding) pairs and answers top-k similarity queries.
-// Exact search scans all vectors (parallelized, heap-based top-k); the IVF
-// index in ivf.h provides the approximate fast path. Collections persist to
-// a simple binary format.
+// Exact search scans a packed SoA mirror of the vectors with the SIMD
+// kernels in kernels.h (parallelized, partial-sort top-k); the IVF index in
+// ivf.h and the HNSW graph in hnsw.h provide approximate fast paths, and
+// quantize.h adds an int8 scan with exact re-rank. Collections persist to a
+// simple binary format.
 
 #include <functional>
 #include <iosfwd>
@@ -16,6 +18,7 @@
 #include "embed/embedder.h"
 #include "resilience/fault_plan.h"
 #include "text/document.h"
+#include "vectordb/kernels.h"
 
 namespace pkb::vectordb {
 
@@ -64,6 +67,22 @@ class VectorStore {
   /// Entry access.
   [[nodiscard]] const text::Document& doc(std::size_t i) const;
   [[nodiscard]] const embed::Vector& vec(std::size_t i) const;
+
+  /// The packed SoA mirror of the stored vectors (64-byte-aligned rows,
+  /// dimension padded to a lane multiple). Every scoring path — the flat
+  /// scan here, IVF bucket scoring, HNSW traversal, the quantized re-rank —
+  /// reads rows from this block through the same kernel, which is what
+  /// keeps their scores mutually bit-identical.
+  [[nodiscard]] const kernels::PackedF32& packed() const { return packed_; }
+
+  /// Score one stored row against a packed query (kernels::PackedF32
+  /// layout, stride() floats). This is THE scoring expression of the store:
+  /// indexes call it so their hits carry exactly the scores the flat scan
+  /// would produce.
+  [[nodiscard]] float kernel_score(const float* packed_query,
+                                   std::size_t i) const {
+    return kernels::dot_f32(packed_query, packed_.row(i), packed_.stride());
+  }
 
   /// Exact top-k by cosine similarity (descending). Ties break by lower
   /// index for determinism. `filter`, when given, drops entries before
@@ -122,6 +141,7 @@ class VectorStore {
 
   std::vector<text::Document> docs_;
   std::vector<embed::Vector> vecs_;
+  kernels::PackedF32 packed_;  ///< SoA mirror of vecs_, scanned by kernels
   std::size_t dim_ = 0;
   const pkb::resilience::FaultPlan* fault_plan_ = nullptr;
 };

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Negative fixtures for scripts/check_docs.sh: prove both directions of the
+# contract actually FAIL when violated, and that a consistent pair passes.
+# Wired into ctest as `check_docs_negative`; run standalone from anywhere:
+#
+#   tests/check_docs_negative.sh
+#
+# Exercises, via the script's [names_header] [doc] overrides:
+#   1. forward  — a header name missing from the doc must exit nonzero;
+#   2. reverse  — a backticked `pkb_*` doc name missing from the header
+#                 must exit nonzero;
+#   3. control  — a consistent header/doc pair must exit zero.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+check="$repo_root/scripts/check_docs.sh"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+cat > "$tmp/names.h" <<'EOF'
+inline constexpr std::string_view kDocumented = "pkb_documented_total";
+inline constexpr std::string_view kUndocumented = "pkb_undocumented_total";
+EOF
+cat > "$tmp/doc.md" <<'EOF'
+| `pkb_documented_total` | — | documented metric |
+EOF
+
+echo "== check_docs_negative: forward (undocumented header name) =="
+if bash "$check" "$tmp/names.h" "$tmp/doc.md"; then
+  echo "check_docs_negative: FAIL — undocumented header name passed" >&2
+  exit 1
+fi
+
+cat > "$tmp/names.h" <<'EOF'
+inline constexpr std::string_view kDocumented = "pkb_documented_total";
+EOF
+cat > "$tmp/doc.md" <<'EOF'
+| `pkb_documented_total` | — | documented metric |
+| `pkb_ghost_total` | — | renamed long ago, doc never updated |
+EOF
+
+echo "== check_docs_negative: reverse (stale doc name) =="
+if bash "$check" "$tmp/names.h" "$tmp/doc.md"; then
+  echo "check_docs_negative: FAIL — stale doc name passed" >&2
+  exit 1
+fi
+
+cat > "$tmp/doc.md" <<'EOF'
+| `pkb_documented_total` | — | documented metric |
+Prose mentioning `example_pkb_cli` must stay exempt from the reverse check.
+EOF
+
+echo "== check_docs_negative: control (consistent pair) =="
+bash "$check" "$tmp/names.h" "$tmp/doc.md"
+
+echo "check_docs_negative: OK"
