@@ -69,13 +69,24 @@ require_keys "$out_dir/BENCH_shards.json" \
   config equivalent results shards clean one_dead qps p50_seconds \
   p99_seconds partial_rate answered_rate
 
-# Tiny corpus but a full sweep: the exactness and recall gates run for real
-# (ef 64 covers the whole 300-doc store, so the recall floor holds even at
-# smoke size) and a gate failure exits nonzero here.
+# Tiny corpus but a full sweep: the exactness, recall, and PQ gates run for
+# real (ef 64 covers the whole 300-doc store, so the recall floors hold even
+# at smoke size) and a gate failure exits nonzero here.
 run ann_frontier --docs 300 --dim 16 --queries 32 --ef 16,64 --nprobe 1,4 \
   --output "$out_dir/BENCH_ann.json"
 require_keys "$out_dir/BENCH_ann.json" \
-  config gates flat_exact default_recall ok results index quant param \
-  recall_at_k p50_seconds p99_seconds qps build_seconds backend
+  config gates flat_exact default_recall pq_recall pq_memory build_speedup \
+  ok results index quant param recall_at_k p50_seconds p99_seconds qps \
+  build_seconds bytes_per_vector backend build ivf_pq_simd_seconds \
+  scalar_reference_seconds speedup gate_applies
+
+# Larger tier, build path only: 6000 docs is past the build_speedup gate's
+# tiny-corpus guard, so the >= 2x parallel-SIMD-vs-scalar-reference check is
+# actually enforced here (and auto-skipped on scalar-only hosts).
+run ann_frontier --docs 6000 --dim 64 --build-only \
+  --output "$out_dir/BENCH_ann_build.json"
+require_keys "$out_dir/BENCH_ann_build.json" \
+  config gates build_speedup ok build ivf_pq_simd_seconds \
+  scalar_reference_seconds speedup gate_applies
 
 echo "bench_smoke: OK"

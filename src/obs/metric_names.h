@@ -34,6 +34,8 @@ inline constexpr std::string_view kIvfProbesTotal = "pkb_ivf_probes_total";
 inline constexpr std::string_view kAnnSearchesTotal = "pkb_ann_searches_total";
 inline constexpr std::string_view kAnnRerankCandidatesTotal =
     "pkb_ann_rerank_candidates_total";
+inline constexpr std::string_view kAnnPqSearchesTotal =
+    "pkb_ann_pq_searches_total";
 inline constexpr std::string_view kLlmRequestsTotal = "pkb_llm_requests_total";
 inline constexpr std::string_view kLlmModeTotal = "pkb_llm_mode_total";
 inline constexpr std::string_view kLlmPromptTokensTotal =
@@ -101,6 +103,10 @@ inline constexpr std::string_view kVectordbEntries = "pkb_vectordb_entries";
 inline constexpr std::string_view kIvfClusters = "pkb_ivf_clusters";
 inline constexpr std::string_view kAnnIndexEntries = "pkb_ann_index_entries";
 inline constexpr std::string_view kAnnGraphEdges = "pkb_ann_graph_edges";
+inline constexpr std::string_view kAnnPqSubquantizers =
+    "pkb_ann_pq_subquantizers";
+inline constexpr std::string_view kAnnPqCodeBytesPerVector =
+    "pkb_ann_pq_code_bytes_per_vector";
 inline constexpr std::string_view kServeQueueDepth = "pkb_serve_queue_depth";
 inline constexpr std::string_view kServeWorkers = "pkb_serve_workers";
 inline constexpr std::string_view kServeInflight = "pkb_serve_inflight";
@@ -125,6 +131,10 @@ inline constexpr std::string_view kVectordbSearchSeconds =
 inline constexpr std::string_view kIvfSearchSeconds = "pkb_ivf_search_seconds";
 inline constexpr std::string_view kAnnSearchSeconds = "pkb_ann_search_seconds";
 inline constexpr std::string_view kAnnBuildSeconds = "pkb_ann_build_seconds";
+inline constexpr std::string_view kAnnBuildKmeansSeconds =
+    "pkb_ann_build_kmeans_seconds";
+inline constexpr std::string_view kAnnPqTrainSeconds =
+    "pkb_ann_pq_train_seconds";
 inline constexpr std::string_view kEmbedBatchSeconds =
     "pkb_embed_batch_seconds";
 inline constexpr std::string_view kLlmSimLatencySeconds =

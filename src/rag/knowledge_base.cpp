@@ -148,9 +148,13 @@ constexpr char kChunkSectionMagic[4] = {'C', 'H', 'N', 'K'};
 constexpr char kSymbolSectionMagic[4] = {'S', 'Y', 'M', 'S'};
 // Version 2 appends opts.shards to the options block; version-1 files load
 // with shards = 0 (monolithic). Version 3 appends the IndexSpec (kind,
-// int8, rerank_factor, IVF and HNSW options); older files load with the
-// identity spec (flat fp32) — exactly their pre-index behavior.
-constexpr std::uint32_t kSnapshotVersion = 3;
+// int8 flag, rerank_factor, IVF and HNSW options); older files load with
+// the identity spec (flat fp32) — exactly their pre-index behavior.
+// Version 4 generalizes the quantizer: the v3 int8 flag stays in place
+// (written as quant == Int8 for old readers' field positions) and the
+// block gains quant + PqOptions after hnsw.seed; v3 files load with the
+// flag mapped to Quantizer::Int8/None and default PQ options.
+constexpr std::uint32_t kSnapshotVersion = 4;
 
 void read_magic(std::istream& in, const char (&expect)[4], const char* what) {
   char magic[4] = {};
@@ -186,7 +190,8 @@ void Snapshot::save(const std::string& path) const {
   }
   bin::write_u64(out, opts.shards);
   bin::write_u32(out, static_cast<std::uint32_t>(opts.index.kind));
-  bin::write_u32(out, opts.index.int8 ? 1 : 0);
+  bin::write_u32(out,
+                 opts.index.quant == vectordb::Quantizer::Int8 ? 1 : 0);
   bin::write_u64(out, opts.index.rerank_factor);
   bin::write_u64(out, opts.index.ivf.clusters);
   bin::write_u64(out, opts.index.ivf.kmeans_iters);
@@ -196,6 +201,10 @@ void Snapshot::save(const std::string& path) const {
   bin::write_u64(out, opts.index.hnsw.ef_construction);
   bin::write_u64(out, opts.index.hnsw.ef_search);
   bin::write_u64(out, opts.index.hnsw.seed);
+  bin::write_u32(out, static_cast<std::uint32_t>(opts.index.quant));
+  bin::write_u64(out, opts.index.pq.m);
+  bin::write_u64(out, opts.index.pq.kmeans_iters);
+  bin::write_u64(out, opts.index.pq.seed);
 
   store.save(out);
 
@@ -258,7 +267,9 @@ SnapshotPtr Snapshot::load(const std::string& path) {
                                std::to_string(kind));
     }
     snap->opts.index.kind = static_cast<vectordb::IndexKind>(kind);
-    snap->opts.index.int8 = bin::read_u32(in, "index int8") != 0;
+    const bool int8_flag = bin::read_u32(in, "index int8") != 0;
+    snap->opts.index.quant =
+        int8_flag ? vectordb::Quantizer::Int8 : vectordb::Quantizer::None;
     snap->opts.index.rerank_factor = bin::read_count(in, "rerank factor");
     snap->opts.index.ivf.clusters = bin::read_count(in, "ivf clusters");
     snap->opts.index.ivf.kmeans_iters = bin::read_count(in, "ivf iters");
@@ -269,6 +280,17 @@ SnapshotPtr Snapshot::load(const std::string& path) {
         bin::read_count(in, "hnsw ef_construction");
     snap->opts.index.hnsw.ef_search = bin::read_count(in, "hnsw ef_search");
     snap->opts.index.hnsw.seed = bin::read_u64(in, "hnsw seed");
+  }
+  if (version >= 4) {
+    const std::uint32_t quant = bin::read_u32(in, "index quant");
+    if (quant > static_cast<std::uint32_t>(vectordb::Quantizer::Pq)) {
+      throw std::runtime_error("Snapshot::load: unknown quantizer " +
+                               std::to_string(quant));
+    }
+    snap->opts.index.quant = static_cast<vectordb::Quantizer>(quant);
+    snap->opts.index.pq.m = bin::read_count(in, "pq m");
+    snap->opts.index.pq.kmeans_iters = bin::read_count(in, "pq iters");
+    snap->opts.index.pq.seed = bin::read_u64(in, "pq seed");
   }
 
   snap->store = vectordb::VectorStore::load(in);

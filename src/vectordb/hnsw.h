@@ -21,8 +21,10 @@
 // Cost is O(ef · log n) distance evaluations versus the flat scan's O(n).
 //
 // Optionally pass Int8Codes to traverse on quantized scores (≈4× less
-// memory traffic per hop) with the returned beam re-ranked exactly — the
-// HNSW × int8 cell of the bench/ann_frontier.cpp frontier.
+// memory traffic per hop), or a PqCodebook + PqCodes pair to traverse on
+// ADC lookup-table scores (≈16× less), with the returned beam re-ranked
+// exactly either way — the HNSW × int8 and HNSW × pq cells of the
+// bench/ann_frontier.cpp frontier.
 //
 // The index is immutable after construction; the store (and codes, when
 // given) must outlive it. Concurrent search() calls are safe — all scratch
@@ -31,6 +33,7 @@
 #include <cstdint>
 
 #include "util/arena.h"
+#include "vectordb/pq.h"
 #include "vectordb/quantize.h"
 #include "vectordb/vector_store.h"
 
@@ -55,10 +58,14 @@ struct HnswOptions {
 class HnswIndex {
  public:
   /// Build the graph. When `codes` is non-null, traversal scores are int8
-  /// approximations and the final beam is exactly re-ranked; the codes must
+  /// approximations; when `pq_book` + `pq_codes` are non-null, traversal
+  /// scores are PQ/ADC approximations (at most one quantization may be
+  /// given). The final beam is exactly re-ranked either way; codes must
   /// mirror `store` and outlive the index.
   explicit HnswIndex(const VectorStore& store, HnswOptions opts = {},
-                     const Int8Codes* codes = nullptr);
+                     const Int8Codes* codes = nullptr,
+                     const PqCodebook* pq_book = nullptr,
+                     const PqCodes* pq_codes = nullptr);
 
   /// Approximate top-k using the default beam width (options().ef_search).
   [[nodiscard]] std::vector<SearchResult> search(const embed::Vector& query,
@@ -87,6 +94,17 @@ class HnswIndex {
     std::uint16_t cap = 0;
   };
 
+  /// Per-query traversal context: the packed fp32 query always, plus the
+  /// quantized query form when `approx` scoring is active (int8 codes or a
+  /// PQ LUT — whichever quantization the index was built with).
+  struct QueryCtx {
+    const float* packed_query = nullptr;
+    const std::int8_t* query_codes = nullptr;  ///< int8 traversal
+    float query_scale = 0.0f;
+    const float* lut = nullptr;  ///< PQ/ADC traversal
+    bool approx = false;
+  };
+
   void build();
   void insert(std::size_t node, std::size_t level,
               const float* packed_query);
@@ -98,19 +116,17 @@ class HnswIndex {
                         std::size_t cap, Links& out) const;
   /// Beam search of width ef on `layer` from `entry`; returns (score, id)
   /// best-first. Scores are fp32 kernel scores during build and fp32
-  /// search; int8 approximations when codes_ is set and `approx` is true.
+  /// search; int8 or PQ/ADC approximations when ctx.approx is set.
   [[nodiscard]] std::vector<std::pair<float, std::uint32_t>> search_layer(
-      const float* packed_query, const std::int8_t* query_codes,
-      float query_scale, std::uint32_t entry, std::size_t ef,
-      std::size_t layer, bool approx) const;
-  [[nodiscard]] float node_score(const float* packed_query,
-                                 const std::int8_t* query_codes,
-                                 float query_scale, std::uint32_t id,
-                                 bool approx) const;
+      const QueryCtx& ctx, std::uint32_t entry, std::size_t ef,
+      std::size_t layer) const;
+  [[nodiscard]] float node_score(const QueryCtx& ctx, std::uint32_t id) const;
 
   const VectorStore& store_;
   HnswOptions opts_;
   const Int8Codes* codes_ = nullptr;
+  const PqCodebook* pq_book_ = nullptr;
+  const PqCodes* pq_codes_ = nullptr;
   util::Arena arena_;
   std::vector<std::vector<Links>> links_;  ///< per node, layers 0..level
   std::uint32_t entry_ = 0;

@@ -2,8 +2,9 @@
 // Index selection — one handle over the ANN strategies in vectordb.
 //
 // `IndexSpec` names a point on the recall-vs-latency frontier: an index
-// kind (flat scan, IVF, HNSW) crossed with optional int8 quantization (+
-// exact re-rank). `build_index` turns a spec into an immutable `AnnIndex`
+// kind (flat scan, IVF, HNSW) crossed with a quantizer (none, int8, or PQ
+// with ADC lookup tables — always with exact fp32 re-rank). `build_index`
+// turns a spec into an immutable `AnnIndex`
 // bound to a VectorStore; the generational KB stores a spec in
 // `rag::KnowledgeBaseOptions::index`, builds the index per Snapshot
 // (rebuilt on every ingest publish), and the retriever routes searches
@@ -23,6 +24,7 @@
 
 #include "vectordb/hnsw.h"
 #include "vectordb/ivf.h"
+#include "vectordb/pq.h"
 #include "vectordb/quantize.h"
 #include "vectordb/vector_store.h"
 
@@ -35,23 +37,33 @@ enum class IndexKind : std::uint8_t {
   Hnsw = 2,  ///< navigable small-world graph (hnsw.h)
 };
 
-/// A point on the recall-vs-latency frontier. Persisted with snapshots
-/// (rag snapshot format v3), so keep fields append-only.
+/// Which compressed representation the candidate scan reads (the re-rank is
+/// always exact fp32).
+enum class Quantizer : std::uint8_t {
+  None = 0,  ///< scan fp32 rows
+  Int8 = 1,  ///< scalar int8 codes (quantize.h), ~4× smaller
+  Pq = 2,    ///< product-quantization ADC (pq.h), ~16× smaller
+};
+
+/// A point on the recall-vs-latency-vs-memory frontier. Persisted with
+/// snapshots (rag snapshot format v4), so keep fields append-only.
 struct IndexSpec {
   IndexKind kind = IndexKind::Flat;
-  /// Scan int8 codes and exactly re-rank k × rerank_factor survivors.
-  bool int8 = false;
-  /// Survivor multiplier for the int8 re-rank (≥ 1).
+  /// Scan quantized codes and exactly re-rank k × rerank_factor survivors.
+  Quantizer quant = Quantizer::None;
+  /// Survivor multiplier for the quantized re-rank (≥ 1).
   std::size_t rerank_factor = 4;
   IvfOptions ivf;
   HnswOptions hnsw;
+  PqOptions pq;
 
   /// The identity spec — no index is built, callers use the flat scan.
   [[nodiscard]] bool is_flat_fp32() const {
-    return kind == IndexKind::Flat && !int8;
+    return kind == IndexKind::Flat && quant == Quantizer::None;
   }
 
-  /// Stable label for metrics and bench output: "flat", "ivf_int8", ...
+  /// Stable label for metrics and bench output: "flat", "ivf_int8",
+  /// "hnsw_pq", ...
   [[nodiscard]] std::string name() const;
 
   bool operator==(const IndexSpec&) const = default;
@@ -76,6 +88,12 @@ class AnnIndex {
   /// identical to the single-query path.
   [[nodiscard]] virtual std::vector<std::vector<SearchResult>> search_batch(
       const std::vector<embed::Vector>& queries, std::size_t k) const;
+
+  /// Bytes of the per-vector representation the candidate scan reads (fp32
+  /// rows, int8 codes, or PQ codes, padded strides included). The fp32
+  /// store backing the exact re-rank is not counted — this is the metric
+  /// the memory gate in bench/ann_frontier.cpp measures.
+  [[nodiscard]] virtual std::size_t scan_bytes_per_vector() const = 0;
 };
 
 /// Build the index `spec` describes over `store`. Returns nullptr for the

@@ -7,12 +7,13 @@
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "util/clock.h"
-#include "util/rng.h"
 #include "util/thread_pool.h"
+#include "vectordb/kmeans.h"
 
 namespace pkb::vectordb {
 
-IvfIndex::IvfIndex(const VectorStore& store, IvfOptions opts)
+IvfIndex::IvfIndex(const VectorStore& store, IvfOptions opts,
+                   util::ThreadPool* pool)
     : store_(store), opts_(opts) {
   if (store_.empty()) {
     throw std::invalid_argument("IvfIndex: empty store");
@@ -23,92 +24,31 @@ IvfIndex::IvfIndex(const VectorStore& store, IvfOptions opts)
   }
   opts_.clusters = std::min(opts_.clusters, store_.size());
   opts_.nprobe = std::max<std::size_t>(1, std::min(opts_.nprobe, opts_.clusters));
-  build();
+  build(pool);
 }
 
-void IvfIndex::build() {
-  const std::size_t n = store_.size();
-  const std::size_t k = opts_.clusters;
+void IvfIndex::build(util::ThreadPool* pool) {
+  // The coarse quantizer is the shared deterministic parallel trainer
+  // (vectordb/kmeans.h): packed SIMD kernels, chunked double reductions
+  // merged in fixed order, fresh-row degenerate re-seeds. Cosine metric —
+  // stored vectors are unit norm.
+  KmeansOptions ko;
+  ko.k = opts_.clusters;
+  ko.iters = opts_.kmeans_iters;
+  ko.seed = opts_.seed;
+  ko.metric = KmeansMetric::Cosine;
+  ko.pool = pool;
+  const KmeansResult km = kmeans_cluster(store_.packed(), ko);
+
   const std::size_t dim = store_.dimension();
-  pkb::util::Rng rng(opts_.seed);
-
-  // k-means++ initialization on cosine distance (vectors are unit norm, so
-  // distance = 1 - dot).
-  centroids_.clear();
-  centroids_.reserve(k);
-  centroids_.push_back(store_.vec(rng.below(n)));
-  std::vector<double> min_dist(n, 2.0);
-  while (centroids_.size() < k) {
-    const embed::Vector& latest = centroids_.back();
-    double total = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double d = 1.0 - static_cast<double>(embed::dot(latest, store_.vec(i)));
-      min_dist[i] = std::min(min_dist[i], std::max(0.0, d));
-      total += min_dist[i];
-    }
-    if (total <= 0.0) {
-      centroids_.push_back(store_.vec(rng.below(n)));
-      continue;
-    }
-    double target = rng.uniform() * total;
-    std::size_t chosen = n - 1;
-    for (std::size_t i = 0; i < n; ++i) {
-      target -= min_dist[i];
-      if (target <= 0.0) {
-        chosen = i;
-        break;
-      }
-    }
-    centroids_.push_back(store_.vec(chosen));
+  centroids_.assign(km.centroids.rows(), embed::Vector(dim, 0.0f));
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    const float* row = km.centroids.row(c);
+    std::copy(row, row + dim, centroids_[c].begin());
   }
-
-  // Lloyd iterations.
-  std::vector<std::size_t> assign(n, 0);
-  for (std::size_t iter = 0; iter < opts_.kmeans_iters; ++iter) {
-    pkb::util::parallel_for(0, n, [&](std::size_t i) {
-      float best = -2.0f;
-      std::size_t arg = 0;
-      for (std::size_t c = 0; c < centroids_.size(); ++c) {
-        const float s = embed::dot(centroids_[c], store_.vec(i));
-        if (s > best) {
-          best = s;
-          arg = c;
-        }
-      }
-      assign[i] = arg;
-    });
-    std::vector<embed::Vector> sums(centroids_.size(),
-                                    embed::Vector(dim, 0.0f));
-    std::vector<std::size_t> counts(centroids_.size(), 0);
-    for (std::size_t i = 0; i < n; ++i) {
-      const embed::Vector& v = store_.vec(i);
-      embed::Vector& s = sums[assign[i]];
-      for (std::size_t d = 0; d < dim; ++d) s[d] += v[d];
-      ++counts[assign[i]];
-    }
-    for (std::size_t c = 0; c < centroids_.size(); ++c) {
-      if (counts[c] == 0) {
-        centroids_[c] = store_.vec(rng.below(n));  // re-seed empty cluster
-        continue;
-      }
-      centroids_[c] = std::move(sums[c]);
-      embed::l2_normalize(centroids_[c]);
-    }
-  }
-
-  // Final assignment into buckets.
   buckets_.assign(centroids_.size(), {});
-  for (std::size_t i = 0; i < n; ++i) {
-    float best = -2.0f;
-    std::size_t arg = 0;
-    for (std::size_t c = 0; c < centroids_.size(); ++c) {
-      const float s = embed::dot(centroids_[c], store_.vec(i));
-      if (s > best) {
-        best = s;
-        arg = c;
-      }
-    }
-    buckets_[arg].push_back(i);
+  for (std::size_t i = 0; i < km.assign.size(); ++i) {
+    buckets_[km.assign[i]].push_back(i);
   }
   obs::global_metrics()
       .gauge(obs::kIvfClusters)

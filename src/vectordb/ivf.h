@@ -26,6 +26,10 @@
 
 #include "vectordb/vector_store.h"
 
+namespace pkb::util {
+class ThreadPool;
+}
+
 namespace pkb::vectordb {
 
 /// IVF build/search parameters.
@@ -46,10 +50,19 @@ struct IvfOptions {
 /// not grow after build()).
 class IvfIndex {
  public:
-  explicit IvfIndex(const VectorStore& store, IvfOptions opts = {});
+  /// Build the index. The k-means runs on vectordb/kmeans.h — packed SIMD
+  /// kernels over `pool` (nullptr = util::global_pool()); the build is
+  /// deterministic for a given store + options at any worker count.
+  explicit IvfIndex(const VectorStore& store, IvfOptions opts = {},
+                    util::ThreadPool* pool = nullptr);
 
   /// Number of clusters actually built.
   [[nodiscard]] std::size_t cluster_count() const { return centroids_.size(); }
+
+  /// Entry ids per cluster (exposed for build-quality tests).
+  [[nodiscard]] const std::vector<std::vector<std::size_t>>& buckets() const {
+    return buckets_;
+  }
 
   /// Approximate top-k: probes the `nprobe` nearest clusters.
   [[nodiscard]] std::vector<SearchResult> search(const embed::Vector& query,
@@ -70,7 +83,7 @@ class IvfIndex {
   [[nodiscard]] const IvfOptions& options() const { return opts_; }
 
  private:
-  void build();
+  void build(util::ThreadPool* pool);
 
   const VectorStore& store_;
   IvfOptions opts_;

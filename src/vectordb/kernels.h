@@ -12,7 +12,10 @@
 //     shard/batch equivalence gates meaningful;
 //   * int8 dot products with int32 accumulation — integer math is exact,
 //     so the quantized scores are bit-identical across scalar/AVX2/NEON
-//     backends by construction.
+//     backends by construction;
+//   * ADC (asymmetric distance computation) table accumulation for product
+//     quantization — per-query lookup tables are gathered per code byte and
+//     accumulated in double, same rounding contract as the fp32 family.
 //
 // Backends are selected ONCE at first use (CPUID on x86: AVX2+FMA; NEON on
 // aarch64; portable scalar otherwise) and never change for the process, so
@@ -41,6 +44,12 @@ namespace pkb::vectordb::kernels {
 inline constexpr std::size_t kF32Pad = 16;
 /// int8 lane multiple rows are padded to (64 bytes = one cache line).
 inline constexpr std::size_t kI8Pad = 64;
+/// PQ code rows are padded to this many bytes (keeps gather loads aligned).
+inline constexpr std::size_t kPqPad = 8;
+/// Centroids per PQ sub-quantizer: codes are one byte, LUTs are laid out
+/// [m][kPqBook] floats regardless of how many centroids were trained
+/// (untrained slots are zero).
+inline constexpr std::size_t kPqBook = 256;
 
 /// Name of the dispatched backend: "avx2", "neon", or "scalar". Forced to
 /// "scalar" under -DPKB_FORCE_SCALAR=ON.
@@ -57,10 +66,50 @@ inline constexpr std::size_t kI8Pad = 64;
 void dots_f32(const float* query, const float* rows_base, std::size_t rows,
               std::size_t stride, float* out);
 
+/// Transposed scoring for codebook training and PQ LUT expansion: `trans`
+/// holds k columns in dimension-major (struct-of-arrays) order with leading
+/// dimension `ld` — trans[d * ld + c] is dimension d of column c (ld = k
+/// for a dense matrix; ld > k addresses a column sub-range). Computes
+/// out[c] = Σ_d q[d] · trans[d*ld+c] with every product exact in double,
+/// accumulated in ascending d, rounded once to float. SIMD backends
+/// vectorize across c — the summation dimension stays sequential — so each
+/// out[c] is bit-identical to the scalar backend (unlike the row-major dot,
+/// whose lanes re-associate), and no padding lanes are wasted at small
+/// dimensions.
+void dots_trans_f32(const float* q, const float* trans, std::size_t dim,
+                    std::size_t k, std::size_t ld, float* out);
+
+/// Nearest column under the dot score: returns argmax_c of
+/// Σ_d q[d] · trans[d*ld+c] (+ adjust[c] when `adjust` is non-null — pass
+/// −‖c‖²/2 for L2 geometry), ties to the lowest c. Accumulation is single
+/// precision — this is the k-means training / PQ-encode assignment
+/// primitive, NOT part of the double-exact scoring contract: each backend
+/// is internally deterministic (same inputs ⇒ same argmax in a process),
+/// but backends may disagree on knife-edge assignments. Requires k ≥ 1.
+[[nodiscard]] std::size_t nearest_trans_f32(const float* q, const float* trans,
+                                            std::size_t dim, std::size_t k,
+                                            std::size_t ld,
+                                            const float* adjust);
+
 /// Dot product of two int8 code vectors of length `n` (padded or not),
 /// accumulated exactly in int32. Identical across backends.
 [[nodiscard]] std::int32_t dot_i8(const std::int8_t* a, const std::int8_t* b,
                                   std::size_t n);
+
+/// ADC score of one PQ-coded row: sum over the `m` sub-quantizers of
+/// lut[s * kPqBook + codes[s]], accumulated in double and rounded once to
+/// float. The AVX2 backend gathers 8 table entries per step
+/// (_mm256_i32gather_ps) and widens to double accumulators; NEON and scalar
+/// walk the table sequentially — the summands are identical floats, so the
+/// result matches across backends exactly like the fp32 dot family.
+[[nodiscard]] float adc_f32(const float* lut, const std::uint8_t* codes,
+                            std::size_t m);
+
+/// ADC scores of `rows` consecutive code rows: out[r] = adc_f32 of row r.
+/// `stride` is the padded code-row width in bytes (PqCodes::stride()).
+void adc_scores(const float* lut, const std::uint8_t* codes_base,
+                std::size_t rows, std::size_t m, std::size_t stride,
+                float* out);
 
 /// Row-major fp32 matrix, 64-byte-aligned, dimension padded to kF32Pad with
 /// zeros. This is the cache-blocked SoA layout the flat scan iterates: each
@@ -76,6 +125,10 @@ class PackedF32 {
 
   /// Append one row (length dim); tail lanes stay zero.
   void append(const float* row);
+
+  /// Overwrite row r with `row` (length dim); tail lanes stay zero. Used by
+  /// the k-means trainers to update centroids in place.
+  void set_row(std::size_t r, const float* row);
 
   /// Pack a query into a padded aligned scratch buffer (tail zeroed).
   /// `scratch` must hold stride() floats.

@@ -1,0 +1,165 @@
+#pragma once
+// Product quantization with ADC lookup tables and exact fp32 re-rank.
+//
+// `PqCodebook` splits the vector dimension into m contiguous sub-vectors
+// and trains an independent k-means codebook (≤ kernels::kPqBook centroids)
+// per sub-vector on vectordb/kmeans.h — seeded, parallel, and
+// bit-deterministic at any worker count. `PqCodes` then mirrors a
+// VectorStore as one byte per sub-quantizer: 4·dim bytes/vector shrink to
+// ~dim/2 (the bench gates ≤ 0.25× fp32), the memory rung int8's fixed 4×
+// cannot reach.
+//
+// Search is ADC (asymmetric distance computation): the fp32 query is
+// expanded once into an m × kPqBook lookup table of sub-dot-products
+// (`build_lut`), and a row's approximate score is the sum of its m table
+// entries — gathered by the kernels.h `adc_f32` family (AVX2 vgatherdps /
+// scalar), double-accumulated like every fp32 kernel. As with int8, the
+// approximation never reaches the caller: `pq_search` scans codes only to
+// pick k × rerank_factor survivors, re-scores them with the store's exact
+// fp32 kernel, and returns the top-k by exact score — bit-identical to the
+// flat scan whenever the survivors cover the true top-k (property-tested in
+// tests/ann_test.cpp; recall gated in bench/ann_frontier.cpp).
+//
+// Codebook and codes are immutable after build and hold no store reference;
+// pair them with the store they were built from (the Snapshot pattern keeps
+// the three consistent).
+
+#include <cstdint>
+#include <vector>
+
+#include "vectordb/kernels.h"
+#include "vectordb/vector_store.h"
+
+namespace pkb::util {
+class ThreadPool;
+}
+
+namespace pkb::vectordb {
+
+/// PQ training parameters.
+struct PqOptions {
+  /// Sub-quantizer count; 0 = auto (dim/2, clamped to [1, dim]). When dim
+  /// is not divisible, the first dim % m sub-vectors get one extra
+  /// dimension.
+  std::size_t m = 0;
+  /// Lloyd iterations per sub-quantizer codebook.
+  std::size_t kmeans_iters = 8;
+  /// Base seed; sub-quantizer s trains with seed + s.
+  std::uint64_t seed = 42;
+
+  bool operator==(const PqOptions&) const = default;
+};
+
+/// Per-sub-vector k-means codebooks plus the query-side LUT expansion.
+class PqCodebook {
+ public:
+  /// Train m codebooks on the store's vectors (kernels + pool; nullptr pool
+  /// = util::global_pool()). Deterministic for a given store + options.
+  /// Emits pkb_ann_pq_train_seconds and the pkb_ann_pq_subquantizers gauge.
+  [[nodiscard]] static PqCodebook train(const VectorStore& store,
+                                        const PqOptions& opts,
+                                        util::ThreadPool* pool = nullptr);
+
+  /// Single-thread scalar-loop twin of train() (reference k-means, no SIMD
+  /// kernels, no pool) — the baseline for the bench build-speedup gate.
+  [[nodiscard]] static PqCodebook train_reference(const VectorStore& store,
+                                                  const PqOptions& opts);
+
+  [[nodiscard]] std::size_t m() const { return sub_.size(); }
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+  /// Centroids per sub-quantizer (min(kPqBook, store rows) at train time).
+  [[nodiscard]] std::size_t centers() const { return centers_; }
+  [[nodiscard]] const PqOptions& options() const { return opts_; }
+  /// Floats a query LUT occupies: m() × kernels::kPqBook.
+  [[nodiscard]] std::size_t lut_size() const {
+    return m() * kernels::kPqBook;
+  }
+
+  /// Expand a normalized query (length dim) into the ADC lookup table:
+  /// lut[s * kPqBook + c] = dot(query sub-vector s, centroid c of
+  /// sub-quantizer s). Slots past centers() are zeroed. `lut` must hold
+  /// lut_size() floats.
+  void build_lut(const float* query, float* lut) const;
+
+  /// Encode one vector (length dim) into m code bytes (nearest centroid per
+  /// sub-vector, lower index on ties).
+  void encode(const float* vec, std::uint8_t* codes_out) const;
+
+ private:
+  struct Sub {
+    std::size_t begin = 0;  ///< first dimension of this sub-vector
+    std::size_t dim = 0;    ///< sub-vector width
+    kernels::PackedF32 centroids;
+    /// Centroids transposed to dimension-major (trans[d * centers + c]) for
+    /// the kernels.h transposed scoring shape — no padding-lane waste at
+    /// sub-vector widths; LUT entries stay bit-identical across backends.
+    std::vector<float> trans;
+    /// −‖c‖²/2 per centroid — argmin L2 = argmax(dot + neg_half_norm), the
+    /// nearest_trans_f32 `adjust` operand.
+    std::vector<float> neg_half_norm;
+  };
+
+  void encode_into(const float* vec, std::uint8_t* codes_out) const;
+  static PqCodebook train_impl(const VectorStore& store, const PqOptions& opts,
+                               util::ThreadPool* pool, bool reference);
+
+  std::vector<Sub> sub_;
+  std::size_t dim_ = 0;
+  std::size_t centers_ = 0;
+  PqOptions opts_;
+
+  friend class PqCodes;
+};
+
+/// Packed uint8 mirror of a store (one byte per sub-quantizer per vector,
+/// rows padded to kernels::kPqPad).
+class PqCodes {
+ public:
+  /// Encode every store row with the codebook (chunked on the pool; rows
+  /// are independent, so the result is deterministic). Sets the
+  /// pkb_ann_pq_code_bytes_per_vector gauge.
+  [[nodiscard]] static PqCodes encode(const VectorStore& store,
+                                      const PqCodebook& book,
+                                      util::ThreadPool* pool = nullptr);
+
+  /// Single-thread scalar-loop twin of encode() (plain double-accumulated
+  /// argmax per sub-vector, no SIMD kernels, no pool) — together with
+  /// PqCodebook::train_reference, the baseline side of the bench
+  /// build-speedup gate.
+  [[nodiscard]] static PqCodes encode_reference(const VectorStore& store,
+                                                const PqCodebook& book);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t m() const { return m_; }
+  /// Padded code-row width in bytes — the scan's bytes/vector footprint.
+  [[nodiscard]] std::size_t stride() const { return stride_; }
+  [[nodiscard]] const std::uint8_t* row(std::size_t r) const {
+    return buf_.as<std::uint8_t>() + r * stride_;
+  }
+
+ private:
+  std::size_t m_ = 0;
+  std::size_t stride_ = 0;
+  std::size_t rows_ = 0;
+  util::AlignedBuffer buf_;
+};
+
+/// Indices of the top-`m` rows of `candidates` by ADC score (descending,
+/// lower index breaking ties). Empty `candidates` means "all rows". `lut`
+/// comes from PqCodebook::build_lut for the (normalized) query.
+[[nodiscard]] std::vector<std::size_t> adc_top(
+    const PqCodes& codes, const float* lut, std::size_t m,
+    const std::vector<std::size_t>& candidates = {});
+
+/// ADC candidate scan + exact fp32 re-rank: expands the query into a LUT,
+/// scans `codes` (restricted to `candidates` when non-empty) for the top
+/// k × rerank_factor survivors, re-scores them with the store's exact
+/// kernel, and returns the top-k by exact score (flat-scan tie-break).
+/// Emits the `quantize_rerank` span, pkb_ann_pq_searches_total and
+/// pkb_ann_rerank_candidates_total. `query` need not be normalized.
+[[nodiscard]] std::vector<SearchResult> pq_search(
+    const VectorStore& store, const PqCodebook& book, const PqCodes& codes,
+    const embed::Vector& query, std::size_t k, std::size_t rerank_factor,
+    const std::vector<std::size_t>& candidates = {});
+
+}  // namespace pkb::vectordb

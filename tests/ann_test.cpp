@@ -1,12 +1,14 @@
 // ANN hot-path tests: kernel backend consistency, the int8 + exact-re-rank
-// bit-identity property, HNSW recall and determinism, IndexSpec routing
-// through Snapshot/Retriever/ShardRouter, and snapshot persistence v3.
-// Suite names (Kernels*, Quantize*, Hnsw*, AnnIndex*, AnnKnowledgeBase*)
-// are part of the scripts/run_tsan.sh filter.
+// bit-identity property, HNSW recall and determinism, the deterministic
+// parallel k-means trainer, PQ/ADC search and codebook builds, IndexSpec
+// routing through Snapshot/Retriever/ShardRouter, and snapshot persistence
+// v3/v4. Suite names (Kernels*, Quantize*, Hnsw*, Kmeans*, Pq*, AnnIndex*,
+// AnnKnowledgeBase*) are part of the scripts/run_tsan.sh filter.
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -16,9 +18,12 @@
 #include "rag/retriever.h"
 #include "util/arena.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "vectordb/hnsw.h"
 #include "vectordb/index.h"
 #include "vectordb/ivf.h"
+#include "vectordb/kmeans.h"
+#include "vectordb/pq.h"
 #include "vectordb/quantize.h"
 #include "vectordb/shard_router.h"
 #include "vectordb/vector_store.h"
@@ -32,6 +37,13 @@ using vectordb::HnswOptions;
 using vectordb::IndexKind;
 using vectordb::IndexSpec;
 using vectordb::Int8Codes;
+using vectordb::KmeansMetric;
+using vectordb::KmeansOptions;
+using vectordb::KmeansResult;
+using vectordb::PqCodebook;
+using vectordb::PqCodes;
+using vectordb::PqOptions;
+using vectordb::Quantizer;
 using vectordb::SearchResult;
 using vectordb::ShardRouter;
 using vectordb::ShardRouterOptions;
@@ -248,32 +260,258 @@ TEST(Hnsw, EmptyStoreThrows) {
   EXPECT_THROW(HnswIndex{store}, std::invalid_argument);
 }
 
+// --- deterministic parallel k-means ----------------------------------------
+
+vectordb::kernels::PackedF32 random_packed(std::size_t n, std::size_t dim,
+                                           std::uint64_t seed) {
+  pkb::util::Rng rng(seed);
+  vectordb::kernels::PackedF32 data(dim);
+  std::vector<float> row(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (float& x : row) x = static_cast<float>(rng.normal());
+    data.append(row.data());
+  }
+  return data;
+}
+
+void expect_kmeans_equal(const KmeansResult& a, const KmeansResult& b) {
+  ASSERT_EQ(a.centroids.rows(), b.centroids.rows());
+  const std::size_t bytes = a.centroids.dim() * sizeof(float);
+  for (std::size_t c = 0; c < a.centroids.rows(); ++c) {
+    EXPECT_EQ(std::memcmp(a.centroids.row(c), b.centroids.row(c), bytes), 0)
+        << "centroid " << c;
+  }
+  EXPECT_EQ(a.assign, b.assign);
+  EXPECT_EQ(a.counts, b.counts);
+}
+
+TEST(Kmeans, BuildIsByteIdenticalAcrossWorkerCounts) {
+  // n is large enough for several chunks (kMinChunk = 1024), so 2- and
+  // 8-worker pools genuinely interleave chunk execution; the merged result
+  // must not care.
+  const auto data = random_packed(2600, 8, 7);
+  for (KmeansMetric metric : {KmeansMetric::Cosine, KmeansMetric::L2}) {
+    KmeansOptions opts;
+    opts.k = 24;
+    opts.iters = 4;
+    opts.seed = 99;
+    opts.metric = metric;
+    util::ThreadPool one(1);
+    opts.pool = &one;
+    const KmeansResult a = vectordb::kmeans_cluster(data, opts);
+    util::ThreadPool two(2);
+    opts.pool = &two;
+    const KmeansResult b = vectordb::kmeans_cluster(data, opts);
+    util::ThreadPool eight(8);
+    opts.pool = &eight;
+    const KmeansResult c = vectordb::kmeans_cluster(data, opts);
+    expect_kmeans_equal(a, b);
+    expect_kmeans_equal(a, c);
+  }
+}
+
+TEST(Kmeans, DegenerateReseedPicksFreshRows) {
+  // 8 distinct values, each duplicated 40×, k = 8: k-means++ rounds hit the
+  // zero-weight walk and re-seeds must land on rows distinct from every
+  // chosen centroid, so all 8 clusters end up populated with 8 distinct
+  // centroids — the cluster-wasting regression the old in-line IVF k-means
+  // had.
+  pkb::util::Rng rng(13);
+  std::vector<std::vector<float>> base(8, std::vector<float>(6));
+  for (auto& row : base) {
+    for (float& x : row) x = static_cast<float>(rng.normal());
+  }
+  vectordb::kernels::PackedF32 data(6);
+  for (std::size_t i = 0; i < 8 * 40; ++i) data.append(base[i % 8].data());
+
+  KmeansOptions opts;
+  opts.k = 8;
+  opts.iters = 3;
+  opts.metric = KmeansMetric::L2;
+  const KmeansResult res = vectordb::kmeans_cluster(data, opts);
+  ASSERT_EQ(res.counts.size(), 8u);
+  for (std::size_t c = 0; c < 8; ++c) {
+    EXPECT_GT(res.counts[c], 0u) << "cluster " << c << " wasted";
+    for (std::size_t o = c + 1; o < 8; ++o) {
+      EXPECT_NE(std::memcmp(res.centroids.row(c), res.centroids.row(o),
+                            6 * sizeof(float)),
+                0)
+          << "duplicate centroids " << c << "/" << o;
+    }
+  }
+}
+
+TEST(Kmeans, FindFreshRowSkipsCentroidDuplicates) {
+  vectordb::kernels::PackedF32 data(2);
+  const float rows[4][2] = {{1, 0}, {1, 0}, {0, 1}, {1, 0}};
+  for (const auto& r : rows) data.append(r);
+  vectordb::kernels::PackedF32 centroids(2);
+  centroids.append(rows[0]);  // {1, 0} is taken
+  // Every start lands on the only fresh row, index 2.
+  for (std::uint64_t start = 0; start < 8; ++start) {
+    EXPECT_EQ(vectordb::find_fresh_row(data, centroids, start), 2u);
+  }
+  centroids.append(rows[2]);  // now everything duplicates a centroid
+  EXPECT_EQ(vectordb::find_fresh_row(data, centroids, 3), 3u);  // start row
+}
+
+// --- product quantization --------------------------------------------------
+
+TEST(Pq, RerankIsBitIdenticalToFlatWhenSurvivorsCoverAll) {
+  // With k × rerank_factor ≥ n every row survives the ADC scan, so the
+  // exact re-rank must reproduce the flat scan bit-for-bit — indices and
+  // scores — for any seed and sub-quantizer split.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const VectorStore store = random_store(200, 16, seed);
+    PqOptions po;
+    po.m = 4;
+    po.seed = seed;
+    const PqCodebook book = PqCodebook::train(store, po);
+    const PqCodes codes = PqCodes::encode(store, book);
+    for (const Vector& q : random_queries(8, 16, seed * 31 + 5)) {
+      expect_hits_equal(store.similarity_search(q, 10),
+                        vectordb::pq_search(store, book, codes, q, 10, 20));
+    }
+  }
+}
+
+TEST(Pq, CodesAreByteIdenticalAcrossWorkerCounts) {
+  const VectorStore store = random_store(2600, 16, 17);
+  PqOptions po;
+  po.m = 4;
+  po.kmeans_iters = 3;
+  util::ThreadPool one(1);
+  util::ThreadPool eight(8);
+  const PqCodebook book1 = PqCodebook::train(store, po, &one);
+  const PqCodebook book8 = PqCodebook::train(store, po, &eight);
+  ASSERT_EQ(book1.m(), book8.m());
+  ASSERT_EQ(book1.centers(), book8.centers());
+
+  // Codebooks compare through their observable outputs: every code byte and
+  // every LUT float must match.
+  const PqCodes codes1 = PqCodes::encode(store, book1, &one);
+  const PqCodes codes8 = PqCodes::encode(store, book8, &eight);
+  ASSERT_EQ(codes1.rows(), codes8.rows());
+  for (std::size_t i = 0; i < codes1.rows(); ++i) {
+    EXPECT_EQ(std::memcmp(codes1.row(i), codes8.row(i), codes1.m()), 0)
+        << "row " << i;
+  }
+  std::vector<float> lut1(book1.lut_size());
+  std::vector<float> lut8(book8.lut_size());
+  for (const Vector& q : random_queries(4, 16, 18)) {
+    Vector nq = q;
+    embed::l2_normalize(nq);
+    book1.build_lut(nq.data(), lut1.data());
+    book8.build_lut(nq.data(), lut8.data());
+    EXPECT_EQ(std::memcmp(lut1.data(), lut8.data(),
+                          lut1.size() * sizeof(float)),
+              0);
+  }
+}
+
+TEST(Pq, ReferenceTrainerMatchesShape) {
+  const VectorStore store = random_store(300, 12, 23);
+  PqOptions po;
+  po.m = 3;
+  po.kmeans_iters = 2;
+  const PqCodebook book = PqCodebook::train(store, po);
+  const PqCodebook ref = PqCodebook::train_reference(store, po);
+  EXPECT_EQ(book.m(), ref.m());
+  EXPECT_EQ(book.dim(), ref.dim());
+  EXPECT_EQ(book.centers(), ref.centers());
+}
+
+TEST(Pq, StaleCodesOrBookThrow) {
+  VectorStore store = random_store(50, 8, 29);
+  const PqCodebook book = PqCodebook::train(store, PqOptions{});
+  const PqCodes codes = PqCodes::encode(store, book);
+  const Vector q = random_queries(1, 8, 30)[0];
+  text::Document doc;
+  doc.id = "late";
+  store.add(std::move(doc), random_queries(1, 8, 31)[0]);
+  EXPECT_THROW(vectordb::pq_search(store, book, codes, q, 3, 2),
+               std::invalid_argument);
+}
+
+TEST(Pq, HnswPqTraversalKeepsExactScores) {
+  const VectorStore store = random_store(2000, 24, 57);
+  PqOptions po;
+  const PqCodebook book = PqCodebook::train(store, po);
+  const PqCodes codes = PqCodes::encode(store, book);
+  const HnswIndex index(store, HnswOptions{}, nullptr, &book, &codes);
+  const auto queries = random_queries(30, 24, 58);
+  EXPECT_GE(index.recall_at_k(queries, 10), 0.85);
+  for (const Vector& q : queries) {
+    const auto exact = store.similarity_search(q, 50);
+    for (const SearchResult& hit : index.search(q, 10)) {
+      for (const SearchResult& e : exact) {
+        if (e.index == hit.index) {
+          EXPECT_EQ(e.score, hit.score);
+        }
+      }
+    }
+  }
+}
+
 // --- IndexSpec / build_index ----------------------------------------------
 
 TEST(AnnIndex, IdentitySpecBuildsNothing) {
   const VectorStore store = random_store(50, 8, 61);
   EXPECT_EQ(vectordb::build_index(store, IndexSpec{}), nullptr);
   IndexSpec int8;
-  int8.int8 = true;
+  int8.quant = Quantizer::Int8;
   EXPECT_NE(vectordb::build_index(store, int8), nullptr);
 }
 
 TEST(AnnIndex, SpecNamesAreStable) {
   IndexSpec spec;
   EXPECT_EQ(spec.name(), "flat");
-  spec.int8 = true;
+  spec.quant = Quantizer::Int8;
   EXPECT_EQ(spec.name(), "flat_int8");
   spec.kind = IndexKind::Ivf;
   EXPECT_EQ(spec.name(), "ivf_int8");
   spec.kind = IndexKind::Hnsw;
-  spec.int8 = false;
+  spec.quant = Quantizer::None;
   EXPECT_EQ(spec.name(), "hnsw");
+  spec.quant = Quantizer::Pq;
+  EXPECT_EQ(spec.name(), "hnsw_pq");
+  spec.kind = IndexKind::Flat;
+  EXPECT_EQ(spec.name(), "flat_pq");
+}
+
+TEST(AnnIndex, FlatPqMatchesFlatScanWithFullRerank) {
+  const VectorStore store = random_store(200, 16, 73);
+  IndexSpec spec;
+  spec.quant = Quantizer::Pq;
+  spec.rerank_factor = 20;  // 10 × 20 ≥ n: survivors cover everything
+  const auto index = vectordb::build_index(store, spec);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->name(), "flat_pq");
+  EXPECT_LE(index->scan_bytes_per_vector(), 8u);  // m=8 codes at dim 16
+  for (const Vector& q : random_queries(10, 16, 74)) {
+    expect_hits_equal(store.similarity_search(q, 10), index->search(q, 10));
+  }
+}
+
+TEST(AnnIndex, IvfPqComposesProbeAndRerank) {
+  const VectorStore store = random_store(400, 16, 83);
+  IndexSpec spec;
+  spec.kind = IndexKind::Ivf;
+  spec.quant = Quantizer::Pq;
+  spec.ivf.nprobe = 64;     // probe everything
+  spec.rerank_factor = 40;  // 10 × 40 ≥ n: result must equal flat scan
+  const auto index = vectordb::build_index(store, spec);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->name(), "ivf_pq");
+  for (const Vector& q : random_queries(5, 16, 84)) {
+    expect_hits_equal(store.similarity_search(q, 10), index->search(q, 10));
+  }
 }
 
 TEST(AnnIndex, FlatInt8MatchesFlatScan) {
   const VectorStore store = random_store(200, 16, 71);
   IndexSpec spec;
-  spec.int8 = true;
+  spec.quant = Quantizer::Int8;
   spec.rerank_factor = 4;
   const auto index = vectordb::build_index(store, spec);
   ASSERT_NE(index, nullptr);
@@ -286,7 +524,7 @@ TEST(AnnIndex, IvfInt8ComposesProbeAndRerank) {
   const VectorStore store = random_store(400, 16, 81);
   IndexSpec spec;
   spec.kind = IndexKind::Ivf;
-  spec.int8 = true;
+  spec.quant = Quantizer::Int8;
   spec.ivf.nprobe = 64;  // probe everything: result must equal flat scan
   const auto index = vectordb::build_index(store, spec);
   ASSERT_NE(index, nullptr);
@@ -316,7 +554,7 @@ TEST(AnnIndex, ShardedFlatInt8MergesBitIdentical) {
   // reproduce the monolithic flat scan bit-for-bit.
   const VectorStore store = random_store(240, 16, 101);
   ShardRouterOptions opts;
-  opts.index.int8 = true;
+  opts.index.quant = Quantizer::Int8;
   opts.index.rerank_factor = 4;
   const auto router = ShardRouter::partition(store, 4, opts);
   for (const Vector& q : random_queries(10, 16, 102)) {
@@ -379,7 +617,7 @@ TEST(AnnKnowledgeBase, SnapshotBuildsConfiguredIndex) {
 TEST(AnnKnowledgeBase, ShardedSnapshotKeepsAnnNull) {
   rag::KnowledgeBaseOptions opts;
   opts.shards = 2;
-  opts.index.int8 = true;
+  opts.index.quant = Quantizer::Int8;
   const rag::KnowledgeBase kb = rag::KnowledgeBase::build(tiny_corpus(), opts);
   const rag::SnapshotPtr snap = kb.snapshot();
   EXPECT_EQ(snap->ann, nullptr);  // per-shard indexes live in the router
@@ -390,7 +628,7 @@ TEST(AnnKnowledgeBase, ShardedSnapshotKeepsAnnNull) {
 TEST(AnnKnowledgeBase, PersistenceV3RoundTripsIndexSpec) {
   rag::KnowledgeBaseOptions opts;
   opts.index.kind = IndexKind::Hnsw;
-  opts.index.int8 = true;
+  opts.index.quant = Quantizer::Int8;
   opts.index.rerank_factor = 6;
   opts.index.hnsw.ef_search = 48;
   opts.index.ivf.nprobe = 7;
@@ -406,6 +644,35 @@ TEST(AnnKnowledgeBase, PersistenceV3RoundTripsIndexSpec) {
   EXPECT_EQ(loaded->opts.index, kb.snapshot()->opts.index);
   ASSERT_NE(loaded->ann, nullptr);
   EXPECT_EQ(loaded->ann->name(), "hnsw_int8");
+}
+
+TEST(AnnKnowledgeBase, PersistenceV4RoundTripsPqSpec) {
+  // The v4 snapshot carries the quantizer enum and PqOptions; a PQ-indexed
+  // KB must reload with the same spec and rebuild the same index kind.
+  rag::KnowledgeBaseOptions opts;
+  opts.index.kind = IndexKind::Ivf;
+  opts.index.quant = Quantizer::Pq;
+  opts.index.pq.m = 2;
+  opts.index.pq.kmeans_iters = 3;
+  opts.index.pq.seed = 77;
+  opts.index.rerank_factor = 8;
+  const rag::KnowledgeBase kb = rag::KnowledgeBase::build(tiny_corpus(), opts);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pkb_ann_snapshot_v4.bin")
+          .string();
+  kb.snapshot()->save(path);
+  const rag::SnapshotPtr loaded = rag::Snapshot::load(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded->opts.index, kb.snapshot()->opts.index);
+  EXPECT_EQ(loaded->opts.index.pq.seed, 77u);
+  ASSERT_NE(loaded->ann, nullptr);
+  EXPECT_EQ(loaded->ann->name(), "ivf_pq");
+
+  // The reloaded index still serves retrieval.
+  const rag::Retriever retriever(kb);
+  EXPECT_FALSE(retriever.retrieve("VecSetValues usage").contexts.empty());
 }
 
 }  // namespace
