@@ -1,0 +1,223 @@
+// Replay regression gate: re-executes a committed trace corpus
+// (tests/data/traces/) against a freshly built knowledge base and fails
+// when any replay drifts from its recording without an explanation.
+//
+// Two passes per trace:
+//  * from GenerateStage — only the deterministic simulated LLM runs, so the
+//    answer must be bit-identical to the recording (`generate_exact` gate);
+//  * from EmbedStage — the whole pipeline re-runs; with the same corpus
+//    build the outcome must fully match (`full_match` gate). A diff with
+//    recorded context ids missing from the live generation counts as
+//    *explained* drift (corpus changed); anything else is unexplained and
+//    fails the run.
+//
+// Also measures the recorder's sampling overhead (ask with trace capture +
+// persist vs plain ask) — the number quoted in docs/PERFORMANCE.md.
+//
+// Usage: replay_regress [--traces DIR] [--output PATH] [--record]
+//   --traces  trace corpus directory (default tests/data/traces)
+//   --output  JSON report path (default BENCH_replay.json)
+//   --record  (re)generate the corpus into --traces instead of replaying
+#include "bench_common.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "replay/replay.h"
+#include "replay/trace.h"
+#include "util/clock.h"
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace {
+
+using pkb::rag::StageKind;
+using pkb::replay::ReplayOverrides;
+using pkb::replay::ReplayResult;
+using pkb::replay::TraceRecorder;
+
+/// The corpus workload: a deterministic slice of the Krylov benchmark plus
+/// the adversarial KSPBurb question.
+std::vector<std::string> corpus_questions() {
+  std::vector<std::string> questions;
+  const auto& bench = pkb::corpus::krylov_benchmark();
+  for (std::size_t i = 0; i < bench.size(); i += 6) {
+    questions.push_back(bench[i].question);
+  }
+  questions.push_back(pkb::corpus::kspburb_question().question);
+  return questions;
+}
+
+int record_corpus(const pkb::bench::Setup& setup, const std::string& dir) {
+  const pkb::rag::AugmentedWorkflow workflow(
+      *setup.db, pkb::rag::PipelineArm::RagRerank, setup.model,
+      setup.retriever);
+  pkb::replay::RecorderOptions opts;
+  opts.dir = dir;
+  TraceRecorder recorder(opts);
+  for (const std::string& q : corpus_questions()) {
+    pkb::rag::StageTrace trace;
+    (void)workflow.ask(q, nullptr, &trace);
+    const std::uint64_t id = recorder.record(std::move(trace));
+    std::printf("recorded #%llu: %s\n", static_cast<unsigned long long>(id),
+                q.c_str());
+  }
+  std::printf("%llu traces in %s\n",
+              static_cast<unsigned long long>(recorder.recorded()),
+              dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string traces_dir = "tests/data/traces";
+  std::string output = "BENCH_replay.json";
+  bool record = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--traces") == 0 && i + 1 < argc) {
+      traces_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--output") == 0 && i + 1 < argc) {
+      output = argv[++i];
+    } else if (std::strcmp(argv[i], "--record") == 0) {
+      record = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const pkb::bench::Setup setup = pkb::bench::make_setup();
+  pkb::bench::print_header("replay regression", setup);
+  if (record) return record_corpus(setup, traces_dir);
+
+  const std::vector<std::uint64_t> ids = TraceRecorder::list(traces_dir);
+  if (ids.empty()) {
+    std::fprintf(stderr, "no traces in %s (run with --record first)\n",
+                 traces_dir.c_str());
+    return 2;
+  }
+
+  pkb::replay::ReplayEngine engine(*setup.db);
+  std::size_t generate_exact = 0;
+  std::size_t full_match = 0;
+  std::size_t explained_diffs = 0;
+  std::size_t unexplained_diffs = 0;
+  double replay_seconds_total = 0.0;
+  using pkb::util::Json;
+  Json results = Json::array();
+
+  for (const std::uint64_t id : ids) {
+    const pkb::rag::StageTrace recorded =
+        TraceRecorder::load(TraceRecorder::trace_path(traces_dir, id));
+
+    // Pass 1: from Generate — deterministic model, bit-identical answer.
+    pkb::util::Stopwatch gen_watch;
+    ReplayOverrides from_generate;
+    from_generate.from = StageKind::Generate;
+    const ReplayResult gen = engine.replay(recorded, from_generate);
+    const double gen_seconds = gen_watch.seconds();
+    const bool gen_exact = !gen.diff.answer_changed && !gen.diff.mode_changed;
+    if (gen_exact) ++generate_exact;
+
+    // Pass 2: from Embed — the full pipeline against the live build.
+    pkb::util::Stopwatch full_watch;
+    ReplayOverrides from_embed;
+    from_embed.from = StageKind::Embed;
+    const ReplayResult full = engine.replay(recorded, from_embed);
+    const double full_seconds = full_watch.seconds();
+    replay_seconds_total += gen_seconds + full_seconds;
+    const bool matched = !full.diff.any();
+    if (matched) {
+      ++full_match;
+    } else if (!full.diff.unresolved_contexts.empty()) {
+      ++explained_diffs;
+    } else {
+      ++unexplained_diffs;
+      std::printf("UNEXPLAINED drift on trace #%llu:\n%s\n",
+                  static_cast<unsigned long long>(id),
+                  full.diff.summary().c_str());
+    }
+
+    std::printf("  #%03llu generate:%s full:%s  %s\n",
+                static_cast<unsigned long long>(id),
+                gen_exact ? "exact" : "DRIFT",
+                matched ? "match" : "drift",
+                pkb::util::ellipsize(recorded.question, 56).c_str());
+
+    Json entry = Json::object();
+    entry.set("id", Json(static_cast<double>(id)));
+    entry.set("generate_exact", Json(gen_exact));
+    entry.set("full_match", Json(matched));
+    entry.set("unresolved_contexts",
+              Json(static_cast<double>(full.diff.unresolved_contexts.size())));
+    entry.set("generate_seconds", Json(gen_seconds));
+    entry.set("full_seconds", Json(full_seconds));
+    results.push_back(std::move(entry));
+  }
+
+  // Recorder overhead: same question asked with and without trace capture
+  // + persist (sample_every = 1, the worst case). Quoted in PERFORMANCE.md.
+  const pkb::rag::AugmentedWorkflow workflow(
+      *setup.db, pkb::rag::PipelineArm::RagRerank, setup.model,
+      setup.retriever);
+  const std::string probe = pkb::corpus::krylov_benchmark().front().question;
+  constexpr int kOverheadIters = 40;
+  pkb::util::Stopwatch plain_watch;
+  for (int i = 0; i < kOverheadIters; ++i) (void)workflow.ask(probe);
+  const double plain_seconds = plain_watch.seconds() / kOverheadIters;
+  pkb::replay::RecorderOptions rec_opts;
+  rec_opts.dir = output + ".overhead_traces";
+  TraceRecorder recorder(rec_opts);
+  pkb::util::Stopwatch recorded_watch;
+  for (int i = 0; i < kOverheadIters; ++i) {
+    pkb::rag::StageTrace trace;
+    (void)workflow.ask(probe, nullptr, &trace);
+    (void)recorder.record(std::move(trace));
+  }
+  const double record_seconds = recorded_watch.seconds() / kOverheadIters;
+  std::error_code ec;
+  std::filesystem::remove_all(rec_opts.dir, ec);
+  const double overhead_pct =
+      plain_seconds > 0.0
+          ? (record_seconds - plain_seconds) / plain_seconds * 100.0
+          : 0.0;
+  std::printf("\nrecorder overhead: plain %.3f ms, recorded %.3f ms "
+              "(+%.1f%%)\n",
+              plain_seconds * 1e3, record_seconds * 1e3, overhead_pct);
+
+  const bool ok = generate_exact == ids.size() && unexplained_diffs == 0;
+  std::printf("\n%zu traces: %zu generate-exact, %zu full-match, "
+              "%zu explained, %zu UNEXPLAINED -> %s\n",
+              ids.size(), generate_exact, full_match, explained_diffs,
+              unexplained_diffs, ok ? "OK" : "FAIL");
+
+  Json config = Json::object();
+  config.set("traces_dir", Json(traces_dir));
+  config.set("model", Json(setup.model.name));
+  config.set("reranker", Json(setup.retriever.reranker));
+  Json gates = Json::object();
+  gates.set("generate_exact", Json(static_cast<double>(generate_exact)));
+  gates.set("full_match", Json(static_cast<double>(full_match)));
+  gates.set("explained_diffs", Json(static_cast<double>(explained_diffs)));
+  gates.set("unexplained_diffs",
+            Json(static_cast<double>(unexplained_diffs)));
+  Json report = Json::object();
+  report.set("config", std::move(config));
+  report.set("traces", Json(static_cast<double>(ids.size())));
+  report.set("results", std::move(results));
+  report.set("gates", std::move(gates));
+  report.set("replay_seconds_mean",
+             Json(replay_seconds_total / (2.0 * ids.size())));
+  report.set("record_seconds_mean", Json(record_seconds));
+  report.set("record_overhead_pct", Json(overhead_pct));
+  report.set("ok", Json(ok));
+
+  std::ofstream out(output);
+  out << report.dump(2) << "\n";
+  std::printf("wrote %s\n", output.c_str());
+  if (!out.good()) return 1;
+  return ok ? 0 : 1;
+}

@@ -80,6 +80,16 @@ require_keys "$out_dir/BENCH_ann.json" \
   build_seconds bytes_per_vector backend build ivf_pq_simd_seconds \
   scalar_reference_seconds speedup gate_applies
 
+# Replay regression: re-execute the committed trace corpus and gate on zero
+# unexplained drift (bit-identical from-Generate answers, full-pipeline
+# match or explained corpus drift from Embed). Exits nonzero on drift.
+run replay_regress --traces "$repo_root/tests/data/traces" \
+  --output "$out_dir/BENCH_replay.json"
+require_keys "$out_dir/BENCH_replay.json" \
+  config traces_dir results gates traces generate_exact full_match \
+  explained_diffs unexplained_diffs replay_seconds_mean record_seconds_mean \
+  record_overhead_pct ok id unresolved_contexts generate_seconds full_seconds
+
 # Larger tier, build path only: 6000 docs is past the build_speedup gate's
 # tiny-corpus guard, so the >= 2x parallel-SIMD-vs-scalar-reference check is
 # actually enforced here (and auto-skipped on scalar-only hosts).

@@ -13,7 +13,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="$repo_root/build-tsan"
 
-filter="ServeServer*:BoundedQueue*:ShardedLruCache*:HistoryStore*:Metrics*:Tracer*:ThreadPool*:SimClock*:KnowledgeBase*:Ingest*:SnapshotPersist*:Resilience*:FaultPlan*:CircuitBreaker*:Chaos*:SimClockWait*:ShardRouter*:ShardEquivalence*:ShardChaos*:ShardKnowledgeBase*:ShardServe*:Kernels*:KernelsArena*:Quantize*:Hnsw*:Kmeans*:Pq*:AnnIndex*:AnnKnowledgeBase*"
+filter="ServeServer*:BoundedQueue*:ShardedLruCache*:HistoryStore*:Metrics*:Tracer*:ThreadPool*:SimClock*:KnowledgeBase*:Ingest*:SnapshotPersist*:Resilience*:FaultPlan*:CircuitBreaker*:Chaos*:SimClockWait*:ShardRouter*:ShardEquivalence*:ShardChaos*:ShardKnowledgeBase*:ShardServe*:Kernels*:KernelsArena*:Quantize*:Hnsw*:Kmeans*:Pq*:AnnIndex*:AnnKnowledgeBase*:StageGraph*:StageParity*:TraceRecorder*:Replay*"
 if [[ $# -ge 1 ]]; then
   filter="$filter:$1"
 fi

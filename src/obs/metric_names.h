@@ -97,6 +97,20 @@ inline constexpr std::string_view kResilienceDeadlineExceededTotal =
     "pkb_resilience_deadline_exceeded_total";
 inline constexpr std::string_view kResilienceIngestAbortsTotal =
     "pkb_resilience_ingest_aborts_total";
+inline constexpr std::string_view kReplayRecordsTotal =
+    "pkb_replay_records_total";
+inline constexpr std::string_view kReplayRecordBytesTotal =
+    "pkb_replay_record_bytes_total";
+inline constexpr std::string_view kReplaySampledOutTotal =
+    "pkb_replay_sampled_out_total";
+inline constexpr std::string_view kReplayReplaysTotal =
+    "pkb_replay_replays_total";
+inline constexpr std::string_view kReplayStagesRunTotal =
+    "pkb_replay_stages_run_total";
+inline constexpr std::string_view kReplayStagesSkippedTotal =
+    "pkb_replay_stages_skipped_total";
+inline constexpr std::string_view kReplayDiffsTotal =
+    "pkb_replay_diffs_total";
 
 // --- gauges ---------------------------------------------------------------
 inline constexpr std::string_view kVectordbEntries = "pkb_vectordb_entries";
@@ -158,6 +172,10 @@ inline constexpr std::string_view kResilienceBudgetSpentSeconds =
     "pkb_resilience_budget_spent_seconds";
 inline constexpr std::string_view kResilienceBackoffSeconds =
     "pkb_resilience_backoff_seconds";
+inline constexpr std::string_view kReplayRecordSeconds =
+    "pkb_replay_record_seconds";
+inline constexpr std::string_view kReplayReplaySeconds =
+    "pkb_replay_replay_seconds";
 
 // --- span names -----------------------------------------------------------
 inline constexpr std::string_view kSpanAsk = "ask";
@@ -185,5 +203,7 @@ inline constexpr std::string_view kSpanBreakerState = "breaker_state";
 inline constexpr std::string_view kSpanDegradedAnswer = "degraded_answer";
 inline constexpr std::string_view kSpanAnnSearch = "ann_search";
 inline constexpr std::string_view kSpanQuantizeRerank = "quantize_rerank";
+inline constexpr std::string_view kSpanTraceRecord = "trace_record";
+inline constexpr std::string_view kSpanReplayStage = "replay_stage";
 
 }  // namespace pkb::obs

@@ -12,17 +12,13 @@
 
 namespace pkb::rag {
 
-namespace {
-
-void observe_stage_metrics(obs::MetricsRegistry& metrics,
-                           const RetrievalResult& result) {
+void Retriever::observe_retrieval_metrics(const RetrievalResult& result) const {
+  obs::MetricsRegistry& metrics = obs::global_metrics();
   metrics.histogram(obs::kRetrieveEmbedSeconds).observe(result.embed_seconds);
   metrics.histogram(obs::kRetrieveSearchSeconds)
       .observe(result.search_seconds);
   metrics.histogram(obs::kRetrieveRagSeconds).observe(result.rag_seconds());
 }
-
-}  // namespace
 
 Retriever::Retriever(const KnowledgeBase& kb, RetrieverOptions opts)
     : kb_(kb), opts_(std::move(opts)) {
@@ -116,7 +112,35 @@ std::vector<vectordb::SearchResult> Retriever::first_pass_hits(
   });
 }
 
-void Retriever::assemble_from_hits(
+void Retriever::embed_stage(const Snapshot& snap, std::string_view query,
+                            RetrievalResult& result) const {
+  pkb::util::Stopwatch watch;
+  auto vec = std::make_shared<embed::Vector>();
+  {
+    obs::Span embed_span(obs::global_tracer(), obs::kSpanEmbedQuery);
+    *vec = snap.embedder->embed(query);
+    embed_span.set_attr("embedder", snap.embedder->name());
+    embed_span.set_attr("dim", vec->size());
+  }
+  result.query_embedding = std::move(vec);
+  result.embed_seconds = watch.seconds();
+}
+
+std::vector<vectordb::SearchResult> Retriever::search_stage(
+    const Snapshot& snap, const embed::Vector& query_vec,
+    RetrievalResult& result) const {
+  pkb::util::Stopwatch watch;
+  std::vector<vectordb::SearchResult> vector_hits;
+  {
+    obs::Span search_span(obs::global_tracer(), obs::kSpanVectorSearch);
+    vector_hits = first_pass_hits(snap, query_vec, result);
+    search_span.set_attr("hits", vector_hits.size());
+  }
+  result.search_seconds = watch.seconds();
+  return vector_hits;
+}
+
+void Retriever::augment_stage(
     const Snapshot& snap, std::string_view query,
     const std::vector<vectordb::SearchResult>& vector_hits,
     RetrievalResult& result) const {
@@ -185,11 +209,15 @@ void Retriever::assemble_from_hits(
       }
     }
   }
+}
 
+void Retriever::rerank_stage(const Snapshot& snap, std::string_view query,
+                             RetrievalResult& result) const {
   // --- Second pass: reranking K (+ keyword extras) down to L (§III-D). ---
+  const std::vector<RetrievedContext>& candidates = result.first_pass;
   const std::shared_ptr<const rerank::Reranker> reranker = reranker_for(snap);
   if (reranker != nullptr) {
-    watch.reset();
+    pkb::util::Stopwatch watch;
     obs::Span rerank_span(obs::global_tracer(), obs::kSpanRerank);
     rerank_span.set_attr("reranker", reranker->name());
     rerank_span.set_attr("in", candidates.size());
@@ -227,10 +255,17 @@ RetrievalResult Retriever::retrieve(std::string_view query) const {
   return retrieve_on(kb_.snapshot(), query);
 }
 
+void Retriever::assemble_from_hits(
+    const Snapshot& snap, std::string_view query,
+    const std::vector<vectordb::SearchResult>& vector_hits,
+    RetrievalResult& result) const {
+  augment_stage(snap, query, vector_hits, result);
+  rerank_stage(snap, query, result);
+}
+
 RetrievalResult Retriever::retrieve_on(const SnapshotPtr& snap,
                                        std::string_view query) const {
-  obs::MetricsRegistry& metrics = obs::global_metrics();
-  metrics.counter(obs::kRetrieveRequestsTotal).inc();
+  obs::global_metrics().counter(obs::kRetrieveRequestsTotal).inc();
   obs::Span span(obs::global_tracer(), obs::kSpanRetrieve);
   span.set_attr("k", opts_.first_pass_k);
   span.set_attr("l", opts_.final_l);
@@ -238,39 +273,22 @@ RetrievalResult Retriever::retrieve_on(const SnapshotPtr& snap,
 
   RetrievalResult result;
   result.snapshot = snap;
-  pkb::util::Stopwatch watch;
 
   // --- First pass 1/2: embedding search (box 1 of Fig 3). ---
-  embed::Vector query_vec;
-  {
-    obs::Span embed_span(obs::global_tracer(), obs::kSpanEmbedQuery);
-    query_vec = snap->embedder->embed(query);
-    embed_span.set_attr("embedder", snap->embedder->name());
-    embed_span.set_attr("dim", query_vec.size());
-  }
-  result.embed_seconds = watch.seconds();
-  watch.reset();
-
-  std::vector<vectordb::SearchResult> vector_hits;
-  {
-    obs::Span search_span(obs::global_tracer(), obs::kSpanVectorSearch);
-    vector_hits = first_pass_hits(*snap, query_vec, result);
-    search_span.set_attr("hits", vector_hits.size());
-  }
-  result.search_seconds = watch.seconds();
-
+  embed_stage(*snap, query, result);
+  const std::vector<vectordb::SearchResult> vector_hits =
+      search_stage(*snap, *result.query_embedding, result);
   assemble_from_hits(*snap, query, vector_hits, result);
   span.set_attr("candidates", result.first_pass.size());
   span.set_attr("kept", result.contexts.size());
-  observe_stage_metrics(metrics, result);
+  observe_retrieval_metrics(result);
   return result;
 }
 
 RetrievalResult Retriever::retrieve_with_embedding(
     const SnapshotPtr& snap, std::string_view query,
     const embed::Vector& query_vec) const {
-  obs::MetricsRegistry& metrics = obs::global_metrics();
-  metrics.counter(obs::kRetrieveRequestsTotal).inc();
+  obs::global_metrics().counter(obs::kRetrieveRequestsTotal).inc();
   obs::Span span(obs::global_tracer(), obs::kSpanRetrieve);
   span.set_attr("k", opts_.first_pass_k);
   span.set_attr("l", opts_.final_l);
@@ -278,19 +296,13 @@ RetrievalResult Retriever::retrieve_with_embedding(
 
   RetrievalResult result;
   result.snapshot = snap;
-  pkb::util::Stopwatch watch;
-  std::vector<vectordb::SearchResult> vector_hits;
-  {
-    obs::Span search_span(obs::global_tracer(), obs::kSpanVectorSearch);
-    vector_hits = first_pass_hits(*snap, query_vec, result);
-    search_span.set_attr("hits", vector_hits.size());
-  }
-  result.search_seconds = watch.seconds();
-
+  result.query_embedding = std::make_shared<embed::Vector>(query_vec);
+  const std::vector<vectordb::SearchResult> vector_hits =
+      search_stage(*snap, query_vec, result);
   assemble_from_hits(*snap, query, vector_hits, result);
   span.set_attr("candidates", result.first_pass.size());
   span.set_attr("kept", result.contexts.size());
-  observe_stage_metrics(metrics, result);
+  observe_retrieval_metrics(result);
   return result;
 }
 
@@ -372,13 +384,14 @@ std::vector<RetrievalResult> Retriever::retrieve_batch_with_embeddings(
     span.set_attr("l", opts_.final_l);
     span.set_attr("generation", snap->generation);
     out[i].snapshot = snap;
+    out[i].query_embedding = std::make_shared<embed::Vector>(vecs[i]);
     out[i].search_seconds = search_total / n;
     out[i].shards_failed = shards_failed;
     out[i].shards_total = shards_total;
     assemble_from_hits(*snap, queries[i], all_hits[i], out[i]);
     span.set_attr("candidates", out[i].first_pass.size());
     span.set_attr("kept", out[i].contexts.size());
-    observe_stage_metrics(metrics, out[i]);
+    observe_retrieval_metrics(out[i]);
   }
   return out;
 }

@@ -65,6 +65,16 @@ struct RetrievalResult {
   /// < shards_total whenever a result is returned.
   std::size_t shards_failed = 0;
   std::size_t shards_total = 0;
+  /// The query embedding that produced the first pass (shared so copies of
+  /// the result stay cheap). Carried for the record/replay subsystem: a
+  /// trace of a precomputed-retrieval request still captures the Embed
+  /// artifact. Null only for an empty (degraded) result.
+  std::shared_ptr<const embed::Vector> query_embedding;
+  /// Set once this retrieval's rag_seconds() has been charged to a request
+  /// deadline budget (PromptStage). Guarantees a retrieval's wall time is
+  /// charged exactly once however the result reaches the workflow — ask(),
+  /// ask_with_retrieval(), or a batch path that pre-charged it.
+  bool budget_charged = false;
   [[nodiscard]] bool partial() const { return shards_failed > 0; }
   /// Total RAG processing time (embed + search + rerank).
   [[nodiscard]] double rag_seconds() const {
@@ -119,6 +129,40 @@ class Retriever {
   [[nodiscard]] bool reranking_enabled() const {
     return !opts_.reranker.empty();
   }
+
+  // --- stage-level entry points -------------------------------------------
+  // The retrieval phase decomposed along the stage-graph cut points
+  // (rag/stage_graph.h). retrieve_on() is exactly embed_stage ->
+  // search_stage -> augment_stage -> rerank_stage; the stage graph and the
+  // replay engine run the same pieces individually, so there is one
+  // definition of each stage's behaviour. All are const and thread-safe.
+
+  /// Embed `query` against `snap` (embed_query span, embed_seconds,
+  /// result.query_embedding).
+  void embed_stage(const Snapshot& snap, std::string_view query,
+                   RetrievalResult& result) const;
+
+  /// First-pass vector hits for an already-embedded query (vector_search
+  /// span, search_seconds, shard accounting). Throws FaultError when the
+  /// search is lost past its hedges.
+  [[nodiscard]] std::vector<vectordb::SearchResult> search_stage(
+      const Snapshot& snap, const embed::Vector& query_vec,
+      RetrievalResult& result) const;
+
+  /// Keyword augmentation + candidate assembly (keyword_augment span,
+  /// provenance counters); fills result.first_pass.
+  void augment_stage(const Snapshot& snap, std::string_view query,
+                     const std::vector<vectordb::SearchResult>& vector_hits,
+                     RetrievalResult& result) const;
+
+  /// Rerank result.first_pass down to L into result.contexts (rerank span;
+  /// a faulted rerank degrades to first-pass order), or pass first-pass
+  /// order through when reranking is disabled.
+  void rerank_stage(const Snapshot& snap, std::string_view query,
+                    RetrievalResult& result) const;
+
+  /// Observe the per-stage latency histograms for a completed retrieval.
+  void observe_retrieval_metrics(const RetrievalResult& result) const;
 
   /// Attach a chaos plan. Vector-search decisions are consulted here (the
   /// snapshot's store is immutable, so the retriever is the injection

@@ -4,6 +4,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rag/prompts.h"
+#include "rag/stage_graph.h"
 #include "text/tokenizer.h"
 #include "util/clock.h"
 
@@ -36,13 +37,6 @@ std::string extractive_answer(const llm::LlmRequest& request) {
   return text;
 }
 
-void count_degraded(res::DegradationLevel level) {
-  obs::global_metrics()
-      .counter(obs::kResilienceDegradedTotal,
-               {{"level", std::string(res::to_string(level))}})
-      .inc();
-}
-
 }  // namespace
 
 std::string_view to_string(PipelineArm arm) {
@@ -55,6 +49,13 @@ std::string_view to_string(PipelineArm arm) {
       return "rag+rerank";
   }
   return "?";
+}
+
+std::optional<PipelineArm> arm_from_string(std::string_view name) {
+  if (name == "baseline") return PipelineArm::Baseline;
+  if (name == "rag") return PipelineArm::Rag;
+  if (name == "rag+rerank") return PipelineArm::RagRerank;
+  return std::nullopt;
 }
 
 AugmentedWorkflow::AugmentedWorkflow(const KnowledgeBase& kb, PipelineArm arm,
@@ -91,7 +92,8 @@ void AugmentedWorkflow::set_fault_plan(const resilience::FaultPlan* plan,
 }
 
 WorkflowOutcome AugmentedWorkflow::ask(std::string_view question,
-                                       resilience::RequestContext* ctx) const {
+                                       resilience::RequestContext* ctx,
+                                       StageTrace* trace) const {
   const std::string arm_name(to_string(arm_));
   obs::global_metrics()
       .counter(obs::kWorkflowRequestsTotal, {{"arm", arm_name}})
@@ -101,22 +103,29 @@ WorkflowOutcome AugmentedWorkflow::ask(std::string_view question,
   span.set_attr("arm", arm_name);
   span.set_attr("model", llm_.config().name);
 
-  WorkflowOutcome outcome;
-  if (retriever_ != nullptr) {
-    if (ctx != nullptr) {
-      try {
-        outcome.retrieval = retriever_->retrieve(question);
-      } catch (const res::FaultError&) {
-        // Second rung: retrieval lost entirely (hedges exhausted). The LLM
-        // still answers, parametrically, from an empty context list.
-        ctx->degrade(res::DegradationLevel::NoRetrieval);
-        outcome.retrieval = RetrievalResult{};
-      }
-    } else {
-      outcome.retrieval = retriever_->retrieve(question);
+  StageState st;
+  st.wf = this;
+  st.question = question;
+  st.ctx = ctx;
+  const StageGraph& graph = global_stage_graph();
+  if (ctx != nullptr) {
+    try {
+      graph.run_range(st, StageKind::Embed, StageKind::Rerank);
+    } catch (const res::FaultError&) {
+      // Second rung: retrieval lost entirely (hedges exhausted). The LLM
+      // still answers, parametrically, from an empty context list. The
+      // umbrella retrieve span must close here so the tail stages don't
+      // nest under it.
+      st.close_retrieve_span();
+      ctx->degrade(res::DegradationLevel::NoRetrieval);
+      st.outcome.retrieval = RetrievalResult{};
     }
+  } else {
+    graph.run_range(st, StageKind::Embed, StageKind::Rerank);
   }
-  outcome = finish(question, std::move(outcome), ctx);
+  run_tail(st);
+  if (trace != nullptr) capture_stage_trace(st, *trace);
+  WorkflowOutcome outcome = std::move(st.outcome);
   obs::global_metrics()
       .histogram(obs::kWorkflowAskSeconds, {{"arm", arm_name}})
       .observe(ask_watch.seconds());
@@ -125,7 +134,7 @@ WorkflowOutcome AugmentedWorkflow::ask(std::string_view question,
 
 WorkflowOutcome AugmentedWorkflow::ask_with_retrieval(
     std::string_view question, RetrievalResult retrieval,
-    resilience::RequestContext* ctx) const {
+    resilience::RequestContext* ctx, StageTrace* trace) const {
   const std::string arm_name(to_string(arm_));
   obs::global_metrics()
       .counter(obs::kWorkflowRequestsTotal, {{"arm", arm_name}})
@@ -136,108 +145,57 @@ WorkflowOutcome AugmentedWorkflow::ask_with_retrieval(
   span.set_attr("model", llm_.config().name);
   span.set_attr("precomputed_retrieval", true);
 
-  WorkflowOutcome outcome;
+  StageState st;
+  st.wf = this;
+  st.question = question;
+  st.ctx = ctx;
   if (retriever_ != nullptr) {
-    outcome.retrieval = std::move(retrieval);
+    st.outcome.retrieval = std::move(retrieval);
+    st.snapshot = st.outcome.retrieval.snapshot;
   }
-  outcome = finish(question, std::move(outcome), ctx);
+  run_tail(st);
+  if (trace != nullptr) capture_stage_trace(st, *trace);
+  WorkflowOutcome outcome = std::move(st.outcome);
   obs::global_metrics()
       .histogram(obs::kWorkflowAskSeconds, {{"arm", arm_name}})
       .observe(ask_watch.seconds());
   return outcome;
 }
 
-WorkflowOutcome AugmentedWorkflow::finish(
-    std::string_view question, WorkflowOutcome outcome,
-    resilience::RequestContext* ctx) const {
-  // Stamp the generation the answer reflects. Baseline outcomes read no
-  // corpus and stay 0 — they can never go stale.
-  outcome.generation = outcome.retrieval.generation();
-  if (ctx != nullptr) {
-    // Retrieval ran for real — its wall time comes off the budget.
-    ctx->budget.charge(outcome.retrieval.rag_seconds());
-    if (outcome.retrieval.rerank_degraded) {
-      ctx->degrade(res::DegradationLevel::Unreranked);
-    }
-  }
-  llm::LlmRequest request;
-  request.question = std::string(question);
+void AugmentedWorkflow::run_tail(StageState& st) const {
+  global_stage_graph().run_range(st, StageKind::Prompt,
+                                 StageKind::Postprocess);
+  record_history(st);
+}
+
+void AugmentedWorkflow::record_history(StageState& st) const {
+  if (history_ == nullptr) return;
+  WorkflowOutcome& outcome = st.outcome;
+  obs::Span record_span(obs::global_tracer(), obs::kSpanHistoryRecord);
+  history::InteractionRecord record;
+  record.timestamp = clock_ != nullptr ? clock_->now() : 0.0;
+  record.question = std::string(st.question);
+  record.response = outcome.response.text;
+  record.model = llm_.config().name;
   if (retriever_ != nullptr) {
-    for (const RetrievedContext& ctx : outcome.retrieval.contexts) {
-      request.contexts.push_back(
-          llm::ContextDoc{ctx.doc->id, std::string(ctx.doc->meta("title")),
-                          ctx.doc->text, ctx.score});
-    }
-    request.system = PromptLibrary::qa_system_prompt();
-  } else {
-    request.system = PromptLibrary::baseline_system_prompt();
+    record.embedding_model = outcome.retrieval.snapshot != nullptr
+                                 ? outcome.retrieval.snapshot->embedder->name()
+                                 : kb_.embedder().name();
+    record.reranker = retriever_->options().reranker;
   }
-  if (history_retriever_ != nullptr) {
-    obs::Span recall_span(obs::global_tracer(), obs::kSpanHistoryRecall);
-    // Shared-history recall: past vetted answers join the context list
-    // (after the document contexts, competing for the attention window).
-    const std::size_t before = request.contexts.size();
-    for (llm::ContextDoc& ctx : history_retriever_->lookup(question)) {
-      request.contexts.push_back(std::move(ctx));
-    }
-    recall_span.set_attr("added", request.contexts.size() - before);
-    if (!request.contexts.empty() && request.system.empty()) {
-      request.system = PromptLibrary::qa_system_prompt();
-    }
+  record.pipeline = std::string(to_string(arm_));
+  record.prompt = outcome.prompt;
+  for (const llm::ContextDoc& ctx : st.request.contexts) {
+    record.context_ids.push_back(ctx.id);
   }
-  {
-    obs::Span prompt_span(obs::global_tracer(), obs::kSpanPromptBuild);
-    outcome.prompt = PromptLibrary::render_user_prompt(question,
-                                                       request.contexts);
-    prompt_span.set_attr("contexts", request.contexts.size());
-    prompt_span.set_attr("chars", outcome.prompt.size());
+  record.latency_seconds =
+      outcome.retrieval.rag_seconds() + outcome.response.latency_seconds;
+  outcome.history_id = history_->add(std::move(record));
+  record_span.set_attr("record_id", outcome.history_id);
+  if (clock_ != nullptr) {
+    clock_->advance(outcome.retrieval.rag_seconds() +
+                    outcome.response.latency_seconds);
   }
-
-  if (ctx != nullptr && ctx->engine != nullptr) {
-    outcome.response = complete_resilient(request, *ctx);
-    outcome.degradation = ctx->level;
-    if (ctx->degraded()) count_degraded(ctx->level);
-    obs::global_metrics()
-        .histogram(obs::kResilienceBudgetSpentSeconds)
-        .observe(ctx->budget.spent_seconds());
-  } else {
-    outcome.response = llm_.complete(request);
-  }
-  {
-    obs::Span post_span(obs::global_tracer(), obs::kSpanPostprocess);
-    outcome.processed = post::postprocess_llm_output(outcome.response.text);
-    post_span.set_attr("code_blocks", outcome.processed.code_reports.size());
-    post_span.set_attr("all_code_ok", outcome.processed.all_code_ok);
-  }
-
-  if (history_ != nullptr) {
-    obs::Span record_span(obs::global_tracer(), obs::kSpanHistoryRecord);
-    history::InteractionRecord record;
-    record.timestamp = clock_ != nullptr ? clock_->now() : 0.0;
-    record.question = std::string(question);
-    record.response = outcome.response.text;
-    record.model = llm_.config().name;
-    if (retriever_ != nullptr) {
-      record.embedding_model = outcome.retrieval.snapshot != nullptr
-                                   ? outcome.retrieval.snapshot->embedder->name()
-                                   : kb_.embedder().name();
-      record.reranker = retriever_->options().reranker;
-    }
-    record.pipeline = std::string(to_string(arm_));
-    record.prompt = outcome.prompt;
-    for (const llm::ContextDoc& ctx : request.contexts) {
-      record.context_ids.push_back(ctx.id);
-    }
-    record.latency_seconds =
-        outcome.retrieval.rag_seconds() + outcome.response.latency_seconds;
-    outcome.history_id = history_->add(std::move(record));
-    record_span.set_attr("record_id", outcome.history_id);
-    if (clock_ != nullptr) {
-      clock_->advance(outcome.retrieval.rag_seconds() +
-                      outcome.response.latency_seconds);
-    }
-  }
-  return outcome;
 }
 
 llm::LlmResponse AugmentedWorkflow::complete_resilient(

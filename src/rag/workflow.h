@@ -2,6 +2,13 @@
 // The augmented PETSc LLM workflow — boxes 1-4 of Fig 3 wired together:
 // retrieve (1) -> rerank (2) -> LLM (3) -> postprocess (4), with every
 // interaction recorded into the shared history (§III-F).
+//
+// Since the stage-graph refactor the pipeline body is an explicit
+// composition of six typed stages (rag/stage_graph.h): ask() pins a
+// snapshot and runs Embed..Postprocess; ask_with_retrieval() seeds the
+// retrieval artifacts and runs Prompt..Postprocess. Passing a StageTrace
+// captures every stage's serializable artifact for the record/replay
+// subsystem (src/replay/).
 
 #include <memory>
 #include <optional>
@@ -17,6 +24,9 @@
 
 namespace pkb::rag {
 
+struct StageTrace;  // rag/stages.h
+struct StageState;  // rag/stage_graph.h
+
 /// Pipeline arm selector.
 enum class PipelineArm {
   Baseline,    ///< no retrieval: parametric LLM only
@@ -25,6 +35,11 @@ enum class PipelineArm {
 };
 
 [[nodiscard]] std::string_view to_string(PipelineArm arm);
+
+/// Inverse of to_string(); nullopt for an unknown name. (The replay engine
+/// reconstructs workflows from recorded trace headers through this.)
+[[nodiscard]] std::optional<PipelineArm> arm_from_string(
+    std::string_view name);
 
 /// The outcome of one question through the workflow.
 struct WorkflowOutcome {
@@ -43,9 +58,11 @@ struct WorkflowOutcome {
     return degradation != resilience::DegradationLevel::Full;
   }
   /// KnowledgeBase generation the answer was computed against (0 for the
-  /// Baseline arm, which reads no corpus). The serve layer compares this to
-  /// the live generation to detect stale cached answers; retrieval.snapshot
-  /// keeps the generation's documents alive while the outcome is cached.
+  /// Baseline arm, which reads no corpus). Stamped in exactly one place —
+  /// PromptStage — for both the ask() and precomputed-retrieval paths. The
+  /// serve layer compares this to the live generation to detect stale
+  /// cached answers; retrieval.snapshot keeps the generation's documents
+  /// alive while the outcome is cached.
   std::uint64_t generation = 0;
 };
 
@@ -92,18 +109,22 @@ class AugmentedWorkflow : public QuestionService {
   /// stage costs are charged to the context's deadline budget and failures
   /// walk the degradation ladder instead of propagating — the outcome then
   /// carries ctx->level in `degradation` and an extractive or stub answer
-  /// when the LLM stage was lost.
-  [[nodiscard]] WorkflowOutcome ask(
-      std::string_view question,
-      resilience::RequestContext* ctx = nullptr) const;
+  /// when the LLM stage was lost. A non-null `trace` captures every
+  /// stage's artifact for the record/replay subsystem.
+  [[nodiscard]] WorkflowOutcome ask(std::string_view question,
+                                    resilience::RequestContext* ctx = nullptr,
+                                    StageTrace* trace = nullptr) const;
 
   /// As ask(), but the retrieval stage was already computed by the caller
   /// (the serve layer's memoized/batched paths). Supplying exactly
   /// retriever()->retrieve(question) yields the same outcome content as
-  /// ask(question). For the Baseline arm the retrieval is ignored.
+  /// ask(question) — including the budget charge, which is applied exactly
+  /// once per RetrievalResult (see RetrievalResult::budget_charged). For
+  /// the Baseline arm the retrieval is ignored.
   [[nodiscard]] WorkflowOutcome ask_with_retrieval(
       std::string_view question, RetrievalResult retrieval,
-      resilience::RequestContext* ctx = nullptr) const;
+      resilience::RequestContext* ctx = nullptr,
+      StageTrace* trace = nullptr) const;
 
   /// QuestionService: answer == ask. ask() is const and runs against an
   /// immutable pinned snapshot, so concurrent calls are safe even while
@@ -118,13 +139,27 @@ class AugmentedWorkflow : public QuestionService {
   [[nodiscard]] const llm::LlmConfig& model() const { return llm_.config(); }
   [[nodiscard]] const Retriever* retriever() const { return retriever_.get(); }
   [[nodiscard]] const KnowledgeBase& kb() const { return kb_; }
+  [[nodiscard]] const HistoryRetriever* history_retriever() const {
+    return history_retriever_;
+  }
 
  private:
-  /// Boxes 2-4 plus history recording, shared by ask() and
-  /// ask_with_retrieval(): `outcome.retrieval` is already populated.
-  [[nodiscard]] WorkflowOutcome finish(std::string_view question,
-                                       WorkflowOutcome outcome,
-                                       resilience::RequestContext* ctx) const;
+  friend class EmbedStage;
+  friend class RetrieveStage;
+  friend class RerankStage;
+  friend class PromptStage;
+  friend class GenerateStage;
+  friend class PostprocessStage;
+
+  /// Stages Prompt..Postprocess plus history recording, shared by ask()
+  /// and ask_with_retrieval(): `st.outcome.retrieval` is already populated
+  /// (or intentionally empty).
+  void run_tail(StageState& st) const;
+
+  /// Append the finished request to the shared history (§III-F). Not a
+  /// pipeline stage: replayed requests must never append (the replay
+  /// engine builds workflows without a history store).
+  void record_history(StageState& st) const;
 
   /// The LLM stage under the resilience policies: breaker gate, bounded
   /// retries with budget-charged backoff, virtual-latency deadline checks.

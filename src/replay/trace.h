@@ -1,0 +1,74 @@
+#pragma once
+// Trace persistence for the time-travel debugger: StageTraces (rag/stages.h)
+// written to and read from disk in a versioned binary format ('PKBT' v1,
+// util/binio.h conventions — every read length-checked, truncation throws).
+//
+// TraceRecorder is the serving-path half: wired into serve::Server behind a
+// sampling knob, it persists every sampled request's per-stage artifacts
+// keyed by a monotonically assigned request id. The files are what
+// ReplayEngine (replay/replay.h), the pkb_cli `:replay` command and
+// bench/replay_regress re-execute.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rag/stages.h"
+
+namespace pkb::replay {
+
+/// Recorder configuration.
+struct RecorderOptions {
+  /// Directory receiving trace files (created on first record).
+  std::string dir = "pkb_traces";
+  /// Record every Nth pipeline request (1 = all). The serve layer calls
+  /// sample() per request and records only when it returns true; skipped
+  /// requests cost one atomic increment (see PERFORMANCE.md).
+  std::uint64_t sample_every = 1;
+};
+
+/// Thread-safe trace sink. sample() and record() may be called from many
+/// serve workers concurrently; ids are unique and files are written whole
+/// (tmp + rename is unnecessary — each id is written exactly once).
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(RecorderOptions opts = {});
+
+  /// Sampling decision for the next pipeline request. False counts into
+  /// pkb_replay_sampled_out_total.
+  [[nodiscard]] bool sample();
+
+  /// Assign the next id, persist the trace under dir(), return the id.
+  /// Emits the trace_record span and the pkb_replay_records_total /
+  /// record_bytes / record_seconds series. Throws std::runtime_error on
+  /// I/O failure.
+  std::uint64_t record(rag::StageTrace trace);
+
+  [[nodiscard]] const RecorderOptions& options() const { return opts_; }
+
+  /// Number of traces this recorder has persisted.
+  [[nodiscard]] std::uint64_t recorded() const {
+    return records_.load(std::memory_order_relaxed);
+  }
+
+  // --- file-level API (static: the replay side needs no recorder) ---------
+  /// `dir`/trace_NNNNNN.pkbt for id NNNNNN.
+  [[nodiscard]] static std::string trace_path(const std::string& dir,
+                                              std::uint64_t id);
+  static void save(const rag::StageTrace& trace, const std::string& path);
+  [[nodiscard]] static rag::StageTrace load(const std::string& path);
+  /// Ids of every trace file in `dir`, ascending. Missing dir = empty.
+  [[nodiscard]] static std::vector<std::uint64_t> list(const std::string& dir);
+
+ private:
+  RecorderOptions opts_;
+  std::atomic<std::uint64_t> ordinal_{0};  ///< sampling counter
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> records_{0};
+  std::mutex dir_mu_;  ///< serializes first-use directory creation
+  bool dir_ready_ = false;
+};
+
+}  // namespace pkb::replay

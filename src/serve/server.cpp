@@ -7,6 +7,8 @@
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rag/stages.h"
+#include "replay/trace.h"
 #include "util/clock.h"
 
 namespace pkb::serve {
@@ -333,11 +335,19 @@ rag::WorkflowOutcome Server::run_pipeline(
   obs::MetricsRegistry& metrics = obs::global_metrics();
   pkb::util::Stopwatch watch;
 
+  // Record/replay sampling: a sampled request threads a StageTrace through
+  // the workflow and persists it after the pipeline completes.
+  rag::StageTrace trace_storage;
+  rag::StageTrace* trace = nullptr;
+  if (opts_.recorder != nullptr && opts_.recorder->sample()) {
+    trace = &trace_storage;
+  }
+
   rag::WorkflowOutcome outcome;
   const rag::Retriever* retriever = workflow_.retriever();
   if (retrieval != nullptr) {
-    outcome =
-        workflow_.ask_with_retrieval(question, std::move(*retrieval), ctx);
+    outcome = workflow_.ask_with_retrieval(question, std::move(*retrieval),
+                                           ctx, trace);
   } else if (retriever != nullptr) {
     // Single path: pin one snapshot for the whole request, memoize the
     // query embedding against it, then retrieve on it.
@@ -347,23 +357,25 @@ rag::WorkflowOutcome Server::run_pipeline(
       try {
         rag::RetrievalResult result =
             retriever->retrieve_with_embedding(snap, question, vec);
-        outcome =
-            workflow_.ask_with_retrieval(question, std::move(result), ctx);
+        outcome = workflow_.ask_with_retrieval(question, std::move(result),
+                                               ctx, trace);
       } catch (const pkb::resilience::FaultError&) {
         // Retrieval lost past its hedges: answer parametrically.
         ctx->degrade(pkb::resilience::DegradationLevel::NoRetrieval);
-        outcome = workflow_.ask_with_retrieval(question,
-                                               rag::RetrievalResult{}, ctx);
+        outcome = workflow_.ask_with_retrieval(
+            question, rag::RetrievalResult{}, ctx, trace);
       }
     } else {
       outcome = workflow_.ask_with_retrieval(
-          question, retriever->retrieve_with_embedding(snap, question, vec));
+          question, retriever->retrieve_with_embedding(snap, question, vec),
+          nullptr, trace);
     }
   } else {
     // Baseline arm: no retrieval stage.
-    outcome = workflow_.ask(question, ctx);
+    outcome = workflow_.ask(question, ctx, trace);
   }
   computed_.fetch_add(1, std::memory_order_relaxed);
+  if (trace != nullptr) opts_.recorder->record(std::move(trace_storage));
 
   // Realize a slice of the simulated LLM latency as real wall time so that
   // multi-worker overlap (and cache hits skipping this stall) are

@@ -44,6 +44,10 @@
 #include "serve/bounded_queue.h"
 #include "serve/lru_cache.h"
 
+namespace pkb::replay {
+class TraceRecorder;
+}  // namespace pkb::replay
+
 namespace pkb::serve {
 
 struct ServerOptions {
@@ -82,6 +86,12 @@ struct ServerOptions {
   /// TTL for cached *degraded* answers, so a transient outage cannot poison
   /// the long-lived answer cache. 0 = never cache degraded answers.
   double degraded_answer_ttl_seconds = 2.0;
+
+  /// Trace recorder for the record/replay subsystem (replay/trace.h).
+  /// Non-null records every Nth computed request's per-stage artifacts (the
+  /// recorder's sample_every knob); cache hits record nothing (no pipeline
+  /// ran). Not owned — must outlive the server.
+  replay::TraceRecorder* recorder = nullptr;
 };
 
 /// Multi-worker serving layer. Construct, submit()/ask()/ask_batch() from

@@ -1,0 +1,366 @@
+// Stage-graph refactor tests: the parity contract (the decomposed pipeline
+// reproduces the monolithic ask() content-identically on every path), the
+// budget charged-exactly-once and generation stamped-in-one-place
+// guarantees, and the shared-history recall ordering contract. Suite names
+// (StageGraph*/StageParity*) are part of the scripts/run_tsan.sh filter.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "history/store.h"
+#include "llm/model_config.h"
+#include "rag/history_retriever.h"
+#include "rag/prompts.h"
+#include "rag/stage_graph.h"
+#include "rag/stages.h"
+#include "rag/workflow.h"
+#include "resilience/fault_plan.h"
+#include "resilience/resilience.h"
+#include "util/clock.h"
+
+namespace {
+
+using namespace pkb;
+namespace res = pkb::resilience;
+
+const std::vector<std::string> kQuestions = {
+    "Which Krylov method should I use for a symmetric positive definite "
+    "matrix?",
+    "How do I monitor the true residual norm of my linear solve?",
+    "What does the -ksp_view option print?",
+};
+
+class StageParityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kb_ = new rag::KnowledgeBase(
+        rag::KnowledgeBase::build(corpus::generate_corpus()));
+  }
+  static std::unique_ptr<rag::AugmentedWorkflow> make_workflow(
+      rag::PipelineArm arm = rag::PipelineArm::RagRerank) {
+    return std::make_unique<rag::AugmentedWorkflow>(
+        *kb_, arm, llm::model_config("sim-gpt-4o"));
+  }
+  static std::vector<std::string> context_ids(
+      const rag::WorkflowOutcome& out) {
+    std::vector<std::string> ids;
+    for (const auto& ctx : out.retrieval.contexts) {
+      ids.push_back(ctx.doc->id);
+    }
+    return ids;
+  }
+  static rag::KnowledgeBase* kb_;
+};
+
+rag::KnowledgeBase* StageParityTest::kb_ = nullptr;
+
+// ask() and ask_with_retrieval(retrieve(q)) must produce identical content
+// on every arm — the two entries run the same stage graph.
+TEST_F(StageParityTest, AskEqualsAskWithPrecomputedRetrieval) {
+  for (const rag::PipelineArm arm :
+       {rag::PipelineArm::Rag, rag::PipelineArm::RagRerank}) {
+    auto workflow = make_workflow(arm);
+    for (const std::string& q : kQuestions) {
+      const rag::WorkflowOutcome direct = workflow->ask(q);
+      const rag::WorkflowOutcome precomputed = workflow->ask_with_retrieval(
+          q, workflow->retriever()->retrieve(q));
+      EXPECT_EQ(direct.response.text, precomputed.response.text) << q;
+      EXPECT_EQ(direct.response.mode, precomputed.response.mode) << q;
+      EXPECT_EQ(direct.prompt, precomputed.prompt) << q;
+      EXPECT_EQ(direct.generation, precomputed.generation) << q;
+      EXPECT_EQ(direct.degradation, precomputed.degradation) << q;
+      EXPECT_EQ(context_ids(direct), context_ids(precomputed)) << q;
+    }
+  }
+}
+
+// Chaos determinism across >= 3 fault-plan seeds: the same seed and the
+// same request stream produce bit-identical answers, degradation levels,
+// and budget spend on two independent runs.
+TEST_F(StageParityTest, ChaosDeterminismAcrossSeeds) {
+  for (const std::uint64_t seed : {1ull, 7ull, 23ull}) {
+    res::FaultPlanOptions plan_opts;
+    plan_opts.seed = seed;
+    plan_opts.vector_search.transient_rate = 0.2;
+    plan_opts.rerank.timeout_rate = 0.3;
+    plan_opts.llm.transient_rate = 0.3;
+
+    std::vector<std::string> answers[2];
+    std::vector<std::string> levels[2];
+    std::vector<double> spent[2];
+    for (int run = 0; run < 2; ++run) {
+      res::FaultPlan plan(plan_opts);
+      auto workflow = make_workflow();
+      workflow->set_fault_plan(&plan);
+      res::Resilience engine;
+      for (const std::string& q : kQuestions) {
+        res::RequestContext ctx = engine.make_context();
+        const rag::WorkflowOutcome out = workflow->ask(q, &ctx);
+        answers[run].push_back(out.response.text);
+        levels[run].push_back(std::string(res::to_string(out.degradation)));
+        spent[run].push_back(ctx.budget.spent_seconds());
+      }
+    }
+    EXPECT_EQ(answers[0], answers[1]) << "seed " << seed;
+    EXPECT_EQ(levels[0], levels[1]) << "seed " << seed;
+    // Budget charges mix simulated latencies with real measured embed time,
+    // so the totals carry sub-millisecond wall-clock jitter between runs.
+    ASSERT_EQ(spent[0].size(), spent[1].size()) << "seed " << seed;
+    // down to the simulated second; a double charge would differ by whole
+    // seconds, so 0.5 s of slack never masks one (ASan/TSan runs stretch
+    // the real component by ~100x).
+    for (std::size_t i = 0; i < spent[0].size(); ++i) {
+      EXPECT_NEAR(spent[0][i], spent[1][i], 0.5) << "seed " << seed;
+    }
+  }
+}
+
+// The history record is identical content on the direct and precomputed
+// paths (ids/timestamps aside): same question, response, prompt, contexts.
+TEST_F(StageParityTest, HistoryRecordParityAcrossPaths) {
+  const std::string q = kQuestions.front();
+
+  history::HistoryStore direct_store;
+  pkb::util::SimClock direct_clock;
+  auto direct_wf = make_workflow();
+  direct_wf->attach_history(&direct_store, &direct_clock);
+  const rag::WorkflowOutcome direct = direct_wf->ask(q);
+
+  history::HistoryStore pre_store;
+  pkb::util::SimClock pre_clock;
+  auto pre_wf = make_workflow();
+  pre_wf->attach_history(&pre_store, &pre_clock);
+  const rag::WorkflowOutcome pre =
+      pre_wf->ask_with_retrieval(q, pre_wf->retriever()->retrieve(q));
+
+  ASSERT_EQ(direct_store.size(), 1u);
+  ASSERT_EQ(pre_store.size(), 1u);
+  const history::InteractionRecord* a = direct_store.get(direct.history_id);
+  const history::InteractionRecord* b = pre_store.get(pre.history_id);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->question, b->question);
+  EXPECT_EQ(a->response, b->response);
+  EXPECT_EQ(a->prompt, b->prompt);
+  EXPECT_EQ(a->context_ids, b->context_ids);
+  EXPECT_EQ(a->model, b->model);
+  EXPECT_EQ(a->reranker, b->reranker);
+  // Latency includes real measured embed time on top of the simulated
+  // seconds; sanitizer builds stretch the real component, so allow slack
+  // well below one simulated latency (a path bug would differ by seconds).
+  EXPECT_NEAR(a->latency_seconds, b->latency_seconds, 0.5);
+}
+
+// --- satellite: budget charged exactly once -------------------------------
+
+// A context without an engine still gets retrieval wall time charged; the
+// charge equals rag_seconds exactly (one charge, nothing else).
+TEST_F(StageParityTest, BudgetChargeEqualsRagSecondsWithoutEngine) {
+  auto workflow = make_workflow();
+  res::RequestContext ctx;  // no engine: GenerateStage runs the plain LLM
+  ctx.budget = res::DeadlineBudget(1e9);
+  const rag::WorkflowOutcome out = workflow->ask(kQuestions.front(), &ctx);
+  EXPECT_GT(out.retrieval.rag_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(ctx.budget.spent_seconds(), out.retrieval.rag_seconds());
+  EXPECT_TRUE(out.retrieval.budget_charged);
+}
+
+// A RetrievalResult whose budget_charged flag is already set (batch paths
+// pre-charge) must not be charged again by PromptStage.
+TEST_F(StageParityTest, PrechargedRetrievalIsNotDoubleCharged) {
+  auto workflow = make_workflow();
+  rag::RetrievalResult retrieval =
+      workflow->retriever()->retrieve(kQuestions.front());
+  ASSERT_GT(retrieval.rag_seconds(), 0.0);
+  retrieval.budget_charged = true;  // caller says: already on the budget
+
+  res::RequestContext ctx;
+  ctx.budget = res::DeadlineBudget(1e9);
+  const rag::WorkflowOutcome out = workflow->ask_with_retrieval(
+      kQuestions.front(), std::move(retrieval), &ctx);
+  EXPECT_DOUBLE_EQ(ctx.budget.spent_seconds(), 0.0);
+  EXPECT_TRUE(out.retrieval.budget_charged);
+}
+
+// Passing the same retrieval through the workflow twice charges once: the
+// flag travels with the result.
+TEST_F(StageParityTest, SameRetrievalTwiceChargesOnce) {
+  auto workflow = make_workflow();
+  const rag::RetrievalResult retrieval =
+      workflow->retriever()->retrieve(kQuestions.front());
+
+  res::RequestContext ctx;
+  ctx.budget = res::DeadlineBudget(1e9);
+  rag::WorkflowOutcome first = workflow->ask_with_retrieval(
+      kQuestions.front(), retrieval, &ctx);
+  EXPECT_DOUBLE_EQ(ctx.budget.spent_seconds(), retrieval.rag_seconds());
+  // Feed the charged result back through: no second charge.
+  (void)workflow->ask_with_retrieval(kQuestions.front(),
+                                     std::move(first.retrieval), &ctx);
+  EXPECT_DOUBLE_EQ(ctx.budget.spent_seconds(), retrieval.rag_seconds());
+}
+
+// --- satellite: generation stamped in one place ---------------------------
+
+// The precomputed-retrieval path stamps the generation of the *pinned*
+// snapshot the retrieval ran against — not the live generation, which may
+// have moved on between retrieve() and ask_with_retrieval().
+TEST_F(StageParityTest, GenerationStampedFromPinnedSnapshot) {
+  rag::KnowledgeBase kb(rag::KnowledgeBase::build(corpus::generate_corpus()));
+  const rag::AugmentedWorkflow workflow(kb, rag::PipelineArm::RagRerank,
+                                        llm::model_config("sim-gpt-4o"));
+  rag::RetrievalResult retrieval =
+      workflow.retriever()->retrieve(kQuestions.front());
+  const std::uint64_t pinned = retrieval.generation();
+  ASSERT_GT(pinned, 0u);
+
+  // The KB publishes a newer generation while the retrieval is in hand.
+  auto next = std::make_shared<rag::Snapshot>(*kb.snapshot());
+  next->generation = pinned + 1;
+  kb.publish(next);
+  ASSERT_EQ(kb.generation(), pinned + 1);
+
+  const rag::WorkflowOutcome out =
+      workflow.ask_with_retrieval(kQuestions.front(), std::move(retrieval));
+  EXPECT_EQ(out.generation, pinned);
+  EXPECT_EQ(out.generation, out.retrieval.generation());
+}
+
+// Baseline outcomes read no corpus: generation stays 0 on both paths.
+TEST_F(StageParityTest, BaselineGenerationIsZero) {
+  auto workflow = make_workflow(rag::PipelineArm::Baseline);
+  EXPECT_EQ(workflow->ask(kQuestions.front()).generation, 0u);
+  EXPECT_EQ(workflow
+                ->ask_with_retrieval(kQuestions.front(),
+                                     rag::RetrievalResult{})
+                .generation,
+            0u);
+}
+
+// --- satellite: shared-history recall ordering ----------------------------
+
+// History contexts are appended AFTER the document contexts: they compete
+// for the tail of the attention window, never displace a document.
+TEST_F(StageParityTest, HistoryContextsAppendAfterDocumentContexts) {
+  const std::string q = kQuestions.front();
+
+  history::HistoryStore store;
+  history::InteractionRecord vetted;
+  vetted.question = q;
+  vetted.response =
+      "Use KSPCG: the conjugate gradient method is the standard choice for "
+      "symmetric positive definite systems.";
+  store.record_score(store.add(std::move(vetted)),
+                     {.scorer = "expert", .score = 4});
+  rag::HistoryRetriever history_retriever(&store);
+  history_retriever.refresh();
+  ASSERT_EQ(history_retriever.indexed(), 1u);
+
+  auto workflow = make_workflow();
+  workflow->attach_history_retrieval(&history_retriever);
+  rag::StageTrace trace;
+  const rag::WorkflowOutcome out = workflow->ask(q, nullptr, &trace);
+  ASSERT_FALSE(out.retrieval.contexts.empty());
+
+  const std::vector<llm::ContextDoc>& contexts = trace.prompt.contexts;
+  ASSERT_GT(contexts.size(), out.retrieval.contexts.size())
+      << "history recall added nothing";
+  bool seen_history = false;
+  for (std::size_t i = 0; i < contexts.size(); ++i) {
+    const bool is_history = contexts[i].id.rfind("history#", 0) == 0;
+    if (is_history) seen_history = true;
+    if (seen_history) {
+      EXPECT_TRUE(is_history)
+          << "document context " << contexts[i].id
+          << " appears after a history context (position " << i << ")";
+    }
+    if (i < out.retrieval.contexts.size()) {
+      EXPECT_EQ(contexts[i].id, out.retrieval.contexts[i].doc->id)
+          << "document contexts must lead, in retrieval order";
+    }
+  }
+  EXPECT_TRUE(seen_history);
+}
+
+// The promotion branch: a request that gains its FIRST contexts from
+// history recall (baseline arm — empty system prompt, no documents) is
+// promoted to the QA system prompt.
+TEST_F(StageParityTest, EmptySystemPromptPromotedOnHistoryRecall) {
+  history::HistoryStore store;
+  history::InteractionRecord vetted;
+  vetted.question = "How do I monitor the true residual norm?";
+  vetted.response = "Use -ksp_monitor_true_residual on the command line.";
+  store.record_score(store.add(std::move(vetted)),
+                     {.scorer = "expert", .score = 4});
+  rag::HistoryRetriever retriever(&store);
+  retriever.refresh();
+  ASSERT_EQ(retriever.indexed(), 1u);
+
+  llm::LlmRequest request;  // no contexts, empty system prompt
+  rag::recall_history_contexts(
+      retriever, "How do I monitor the true residual norm?", request);
+  ASSERT_FALSE(request.contexts.empty());
+  EXPECT_EQ(request.system, rag::PromptLibrary::qa_system_prompt());
+
+  // No recall hit -> no promotion: the system prompt stays empty.
+  llm::LlmRequest miss;
+  rag::recall_history_contexts(
+      retriever, "completely unrelated quantum chromodynamics", miss);
+  EXPECT_TRUE(miss.contexts.empty());
+  EXPECT_TRUE(miss.system.empty());
+}
+
+// --- the stage graph itself -----------------------------------------------
+
+TEST(StageGraphTest, StageNamesRoundTrip) {
+  for (int i = 0; i < rag::kStageCount; ++i) {
+    const auto kind = static_cast<rag::StageKind>(i);
+    const auto parsed = rag::stage_from_name(rag::to_string(kind));
+    ASSERT_TRUE(parsed.has_value()) << i;
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(rag::stage_from_name("no-such-stage").has_value());
+  EXPECT_FALSE(rag::stage_from_name("").has_value());
+}
+
+TEST(StageGraphTest, GlobalGraphExposesAllStagesInOrder) {
+  const rag::StageGraph& graph = rag::global_stage_graph();
+  for (int i = 0; i < rag::kStageCount; ++i) {
+    const auto kind = static_cast<rag::StageKind>(i);
+    EXPECT_EQ(graph.stage(kind).kind(), kind);
+  }
+}
+
+// A captured trace mirrors the outcome it was captured from.
+TEST_F(StageParityTest, TraceMirrorsOutcome) {
+  auto workflow = make_workflow();
+  rag::StageTrace trace;
+  const rag::WorkflowOutcome out =
+      workflow->ask(kQuestions.front(), nullptr, &trace);
+
+  EXPECT_EQ(trace.question, kQuestions.front());
+  EXPECT_EQ(trace.arm, "rag+rerank");
+  EXPECT_EQ(trace.model, "sim-gpt-4o");
+  EXPECT_EQ(trace.reranker, "sim-flashrank");
+  EXPECT_EQ(trace.first_pass_k, 8u);
+  EXPECT_EQ(trace.final_l, 4u);
+  EXPECT_EQ(trace.generation, out.generation);
+  EXPECT_EQ(trace.prompt.prompt, out.prompt);
+  EXPECT_EQ(trace.generate.response.text, out.response.text);
+  EXPECT_EQ(trace.generate.response.mode, out.response.mode);
+  EXPECT_EQ(trace.post.plain_text, out.processed.plain_text);
+  EXPECT_EQ(trace.rerank.contexts.size(), out.retrieval.contexts.size());
+  for (std::size_t i = 0; i < trace.rerank.contexts.size(); ++i) {
+    EXPECT_EQ(trace.rerank.contexts[i].id,
+              out.retrieval.contexts[i].doc->id);
+  }
+  EXPECT_FALSE(trace.embed.query_vec.empty());
+  EXPECT_EQ(trace.retrieve.candidates.size(),
+            out.retrieval.first_pass.size());
+}
+
+}  // namespace
