@@ -90,6 +90,21 @@ require_keys "$out_dir/BENCH_replay.json" \
   explained_diffs unexplained_diffs replay_seconds_mean record_seconds_mean \
   record_overhead_pct ok id unresolved_contexts generate_seconds full_seconds
 
+# Session serving: tiny open-loop run over all four arrival modes. The
+# bench's own admission gates run for real (it exits nonzero unless >= 99%
+# of admitted turns are answered, nothing overdraws its deadline budget, and
+# shedding rises monotonically across the overload rungs before p99
+# collapses), so a smoke pass certifies the knee measurement end to end.
+run session_load --lanes 2 --lane-queue 8 --sessions 8 \
+  --requests-per-mode 48 --overload-window 0.3 \
+  --output "$out_dir/BENCH_sessions.json"
+require_keys "$out_dir/BENCH_sessions.json" \
+  config modes overload gates capacity_qps_estimate offered_qps \
+  sustained_qps p50_seconds p95_seconds p99_seconds arrivals admitted shed \
+  shed_rate answered_rate budget_spent_max_seconds sessions rungs \
+  knee_offered_qps knee_shed_rate knee_p99_seconds deadline_violations \
+  shed_before_collapse monotone_shed ok
+
 # Larger tier, build path only: 6000 docs is past the build_speedup gate's
 # tiny-corpus guard, so the >= 2x parallel-SIMD-vs-scalar-reference check is
 # actually enforced here (and auto-skipped on scalar-only hosts).

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Build with ThreadSanitizer (-DPKB_SANITIZE=thread) and run the
-# concurrency-heavy tests: the serving layer, history store, observability
-# registry, thread-pool, and resilience/chaos suites. Usage, from anywhere:
+# concurrency-heavy tests: the serving layer, session manager + admission,
+# history store, observability registry, thread-pool, and resilience/chaos
+# suites. Usage, from anywhere:
 #
 #   scripts/run_tsan.sh [extra gtest filter]
 #
@@ -13,7 +14,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="$repo_root/build-tsan"
 
-filter="ServeServer*:BoundedQueue*:ShardedLruCache*:HistoryStore*:Metrics*:Tracer*:ThreadPool*:SimClock*:KnowledgeBase*:Ingest*:SnapshotPersist*:Resilience*:FaultPlan*:CircuitBreaker*:Chaos*:SimClockWait*:ShardRouter*:ShardEquivalence*:ShardChaos*:ShardKnowledgeBase*:ShardServe*:Kernels*:KernelsArena*:Quantize*:Hnsw*:Kmeans*:Pq*:AnnIndex*:AnnKnowledgeBase*:StageGraph*:StageParity*:TraceRecorder*:Replay*"
+filter="ServeServer*:BoundedQueue*:ShardedLruCache*:HistoryStore*:Metrics*:Tracer*:ThreadPool*:SimClock*:KnowledgeBase*:Ingest*:SnapshotPersist*:Resilience*:FaultPlan*:CircuitBreaker*:Chaos*:SimClockWait*:ShardRouter*:ShardEquivalence*:ShardChaos*:ShardKnowledgeBase*:ShardServe*:Kernels*:KernelsArena*:Quantize*:Hnsw*:Kmeans*:Pq*:AnnIndex*:AnnKnowledgeBase*:StageGraph*:StageParity*:TraceRecorder*:Replay*:Session*"
 if [[ $# -ge 1 ]]; then
   filter="$filter:$1"
 fi

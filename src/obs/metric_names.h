@@ -65,6 +65,20 @@ inline constexpr std::string_view kServeRejectedTotal =
     "pkb_serve_rejected_total";
 inline constexpr std::string_view kServeCacheStaleTotal =
     "pkb_serve_cache_stale_total";
+inline constexpr std::string_view kSessionTurnsTotal =
+    "pkb_session_turns_total";
+inline constexpr std::string_view kSessionShedTotal =
+    "pkb_session_shed_total";
+inline constexpr std::string_view kSessionCreatedTotal =
+    "pkb_session_created_total";
+inline constexpr std::string_view kSessionEvictedTotal =
+    "pkb_session_evicted_total";
+inline constexpr std::string_view kSessionDedupDroppedTotal =
+    "pkb_session_dedup_dropped_total";
+inline constexpr std::string_view kSessionMemoryInvalidationsTotal =
+    "pkb_session_memory_invalidations_total";
+inline constexpr std::string_view kSessionHistoryContextsTotal =
+    "pkb_session_history_contexts_total";
 inline constexpr std::string_view kShardQueriesTotal =
     "pkb_shard_queries_total";
 inline constexpr std::string_view kShardScansTotal = "pkb_shard_scans_total";
@@ -124,6 +138,10 @@ inline constexpr std::string_view kAnnPqCodeBytesPerVector =
 inline constexpr std::string_view kServeQueueDepth = "pkb_serve_queue_depth";
 inline constexpr std::string_view kServeWorkers = "pkb_serve_workers";
 inline constexpr std::string_view kServeInflight = "pkb_serve_inflight";
+inline constexpr std::string_view kSessionActive = "pkb_session_active";
+inline constexpr std::string_view kSessionLaneDepth =
+    "pkb_session_lane_depth";
+inline constexpr std::string_view kSessionInflight = "pkb_session_inflight";
 inline constexpr std::string_view kShardCount = "pkb_shard_count";
 inline constexpr std::string_view kKbGeneration = "pkb_kb_generation";
 inline constexpr std::string_view kKbChunks = "pkb_kb_chunks";
@@ -161,6 +179,12 @@ inline constexpr std::string_view kServeQueueWaitSeconds =
     "pkb_serve_queue_wait_seconds";
 inline constexpr std::string_view kServePipelineSeconds =
     "pkb_serve_pipeline_seconds";
+inline constexpr std::string_view kSessionTurnSeconds =
+    "pkb_session_turn_seconds";
+inline constexpr std::string_view kSessionQueueWaitSeconds =
+    "pkb_session_queue_wait_seconds";
+inline constexpr std::string_view kSessionTurnsPerSession =
+    "pkb_session_turns_per_session";
 inline constexpr std::string_view kShardScatterSeconds =
     "pkb_shard_scatter_seconds";
 inline constexpr std::string_view kShardMergeSeconds =
@@ -190,6 +214,8 @@ inline constexpr std::string_view kSpanLlm = "llm";
 inline constexpr std::string_view kSpanPostprocess = "postprocess";
 inline constexpr std::string_view kSpanHistoryRecord = "history_record";
 inline constexpr std::string_view kSpanServeRequest = "serve_request";
+inline constexpr std::string_view kSpanSessionTurn = "session_turn";
+inline constexpr std::string_view kSpanAdmission = "admission";
 inline constexpr std::string_view kSpanServeBatch = "serve_batch";
 inline constexpr std::string_view kSpanVectorSearchBatch =
     "vector_search_batch";

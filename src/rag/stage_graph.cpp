@@ -54,6 +54,16 @@ std::optional<StageKind> stage_from_name(std::string_view name) {
   return std::nullopt;
 }
 
+void append_recalled_contexts(std::vector<llm::ContextDoc> contexts,
+                              llm::LlmRequest& request) {
+  for (llm::ContextDoc& ctx : contexts) {
+    request.contexts.push_back(std::move(ctx));
+  }
+  if (!request.contexts.empty() && request.system.empty()) {
+    request.system = PromptLibrary::qa_system_prompt();
+  }
+}
+
 void recall_history_contexts(const HistoryRetriever& retriever,
                              std::string_view question,
                              llm::LlmRequest& request) {
@@ -61,13 +71,8 @@ void recall_history_contexts(const HistoryRetriever& retriever,
   // Shared-history recall: past vetted answers join the context list
   // (after the document contexts, competing for the attention window).
   const std::size_t before = request.contexts.size();
-  for (llm::ContextDoc& ctx : retriever.lookup(question)) {
-    request.contexts.push_back(std::move(ctx));
-  }
+  append_recalled_contexts(retriever.lookup(question), request);
   recall_span.set_attr("added", request.contexts.size() - before);
-  if (!request.contexts.empty() && request.system.empty()) {
-    request.system = PromptLibrary::qa_system_prompt();
-  }
 }
 
 /// Pin the snapshot, open the umbrella `retrieve` span, embed the query.
@@ -150,11 +155,30 @@ class PromptStage final : public Stage {
     }
     llm::LlmRequest& request = st.request;
     request.question = std::string(st.question);
+    SessionPromptContext* session = st.session;
     if (wf.retriever_ != nullptr) {
+      // Session retrieval memory: a chunk this session has already seen is
+      // dropped from the prompt — but only while the memory's generation
+      // matches the turn's pinned generation. A mid-session publish may
+      // have re-ingested any chunk, so a mismatched memory is unsafe to
+      // apply: dedup is skipped and memory_stale tells the session layer
+      // to reset.
+      bool dedup = false;
+      if (session != nullptr && session->seen_context_ids != nullptr) {
+        dedup = session->memory_generation == outcome.retrieval.generation();
+        session->memory_stale = !dedup;
+      }
       for (const RetrievedContext& ctx : outcome.retrieval.contexts) {
+        if (dedup && session->seen_context_ids->count(ctx.doc->id) > 0) {
+          ++session->deduped;
+          continue;
+        }
         request.contexts.push_back(
             llm::ContextDoc{ctx.doc->id, std::string(ctx.doc->meta("title")),
                             ctx.doc->text, ctx.score});
+        if (session != nullptr) {
+          session->attached_context_ids.push_back(ctx.doc->id);
+        }
       }
       request.system = PromptLibrary::qa_system_prompt();
     } else {
@@ -162,6 +186,14 @@ class PromptStage final : public Stage {
     }
     if (wf.history_retriever_ != nullptr) {
       recall_history_contexts(*wf.history_retriever_, st.question, request);
+    }
+    if (session != nullptr && session->history_contexts != nullptr) {
+      // Conversation history rides the same tail-append contract as
+      // shared-history recall: after the documents, competing for the
+      // attention window; first-context promotion to the QA prompt keeps
+      // the Baseline arm conversational too.
+      session->history_attached = session->history_contexts->size();
+      append_recalled_contexts(*session->history_contexts, request);
     }
     if (st.max_attended_override.has_value()) {
       request.max_attended_contexts = *st.max_attended_override;

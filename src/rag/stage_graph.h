@@ -48,6 +48,11 @@ struct StageState {
   /// budget); applied by PromptStage after request assembly.
   std::optional<std::size_t> max_attended_override;
 
+  /// Session hooks (serve/session.h): cross-turn context dedup and
+  /// conversation-history append in PromptStage. Null for sessionless
+  /// requests — the stage then behaves exactly as before.
+  SessionPromptContext* session = nullptr;
+
   void close_retrieve_span() { retrieve_span.reset(); }
 };
 
@@ -91,6 +96,14 @@ class StageGraph {
 void recall_history_contexts(const HistoryRetriever& retriever,
                              std::string_view question,
                              llm::LlmRequest& request);
+
+/// The shared tail-append contract for recalled context (used by both
+/// shared-history recall and session conversation history): contexts go
+/// after whatever the request already holds, and a request that gains its
+/// first contexts here is promoted from an empty system prompt to the QA
+/// prompt.
+void append_recalled_contexts(std::vector<llm::ContextDoc> contexts,
+                              llm::LlmRequest& request);
 
 /// Capture every artifact of a completed (or seeded) StageState into a
 /// StageTrace: configuration header from the workflow, stage artifacts from

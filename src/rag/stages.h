@@ -19,6 +19,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "embed/embedder.h"
@@ -97,6 +98,39 @@ struct PostprocessArtifact {
   bool all_code_ok = true;
   std::uint64_t code_blocks = 0;
   std::vector<std::string> sources;
+};
+
+/// Per-turn session hooks threaded into PromptStage by the session serving
+/// layer (serve/session.h). Multi-turn conversations ride the stage
+/// graph's existing history path: prior turns are appended AFTER the
+/// document contexts (exactly where shared-history recall puts its
+/// contexts, competing for the tail of the attention window), and the
+/// session's retrieval memory drops chunks the session has already seen
+/// from the prompt. The retrieval stages still run in full — replay traces
+/// and retrieval metrics are unaffected; only prompt assembly changes.
+struct SessionPromptContext {
+  // --- inputs (owned by the session layer, alive for the whole turn) ------
+  /// Chunk ids already shown to this session. Null (or absent ids)
+  /// disables dedup — the session layer passes null for a fresh memory so
+  /// an empty set is never mistaken for a stale one.
+  const std::unordered_set<std::string>* seen_context_ids = nullptr;
+  /// KnowledgeBase generation the memory was recorded under. Dedup applies
+  /// only while the turn's pinned generation matches: after a mid-session
+  /// publish any chunk may carry re-ingested content, so "already seen" no
+  /// longer holds and the full context list is shown again (`memory_stale`
+  /// reports the mismatch so the session layer resets its memory).
+  std::uint64_t memory_generation = 0;
+  /// Prior conversation turns, oldest first; appended after the document
+  /// contexts (and after shared-history recall).
+  const std::vector<llm::ContextDoc>* history_contexts = nullptr;
+
+  // --- outputs (filled by PromptStage) ------------------------------------
+  std::size_t deduped = 0;           ///< document contexts dropped as seen
+  std::size_t history_attached = 0;  ///< conversation contexts appended
+  bool memory_stale = false;         ///< generation mismatch; dedup skipped
+  /// Ids of the document contexts actually placed in the prompt — what the
+  /// session layer records into its retrieval memory for the next turn.
+  std::vector<std::string> attached_context_ids;
 };
 
 /// Everything one recorded request needs to be replayed from any stage:

@@ -93,7 +93,8 @@ void AugmentedWorkflow::set_fault_plan(const resilience::FaultPlan* plan,
 
 WorkflowOutcome AugmentedWorkflow::ask(std::string_view question,
                                        resilience::RequestContext* ctx,
-                                       StageTrace* trace) const {
+                                       StageTrace* trace,
+                                       SessionPromptContext* session) const {
   const std::string arm_name(to_string(arm_));
   obs::global_metrics()
       .counter(obs::kWorkflowRequestsTotal, {{"arm", arm_name}})
@@ -107,6 +108,7 @@ WorkflowOutcome AugmentedWorkflow::ask(std::string_view question,
   st.wf = this;
   st.question = question;
   st.ctx = ctx;
+  st.session = session;
   const StageGraph& graph = global_stage_graph();
   if (ctx != nullptr) {
     try {
@@ -134,7 +136,8 @@ WorkflowOutcome AugmentedWorkflow::ask(std::string_view question,
 
 WorkflowOutcome AugmentedWorkflow::ask_with_retrieval(
     std::string_view question, RetrievalResult retrieval,
-    resilience::RequestContext* ctx, StageTrace* trace) const {
+    resilience::RequestContext* ctx, StageTrace* trace,
+    SessionPromptContext* session) const {
   const std::string arm_name(to_string(arm_));
   obs::global_metrics()
       .counter(obs::kWorkflowRequestsTotal, {{"arm", arm_name}})
@@ -149,6 +152,7 @@ WorkflowOutcome AugmentedWorkflow::ask_with_retrieval(
   st.wf = this;
   st.question = question;
   st.ctx = ctx;
+  st.session = session;
   if (retriever_ != nullptr) {
     st.outcome.retrieval = std::move(retrieval);
     st.snapshot = st.outcome.retrieval.snapshot;

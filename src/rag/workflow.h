@@ -24,8 +24,9 @@
 
 namespace pkb::rag {
 
-struct StageTrace;  // rag/stages.h
-struct StageState;  // rag/stage_graph.h
+struct StageTrace;           // rag/stages.h
+struct StageState;           // rag/stage_graph.h
+struct SessionPromptContext;  // rag/stages.h
 
 /// Pipeline arm selector.
 enum class PipelineArm {
@@ -110,10 +111,14 @@ class AugmentedWorkflow : public QuestionService {
   /// walk the degradation ladder instead of propagating — the outcome then
   /// carries ctx->level in `degradation` and an extractive or stub answer
   /// when the LLM stage was lost. A non-null `trace` captures every
-  /// stage's artifact for the record/replay subsystem.
+  /// stage's artifact for the record/replay subsystem. A non-null `session`
+  /// (the session serving layer's per-turn hooks) dedups already-seen
+  /// contexts and appends conversation history during prompt assembly.
   [[nodiscard]] WorkflowOutcome ask(std::string_view question,
                                     resilience::RequestContext* ctx = nullptr,
-                                    StageTrace* trace = nullptr) const;
+                                    StageTrace* trace = nullptr,
+                                    SessionPromptContext* session =
+                                        nullptr) const;
 
   /// As ask(), but the retrieval stage was already computed by the caller
   /// (the serve layer's memoized/batched paths). Supplying exactly
@@ -124,7 +129,8 @@ class AugmentedWorkflow : public QuestionService {
   [[nodiscard]] WorkflowOutcome ask_with_retrieval(
       std::string_view question, RetrievalResult retrieval,
       resilience::RequestContext* ctx = nullptr,
-      StageTrace* trace = nullptr) const;
+      StageTrace* trace = nullptr,
+      SessionPromptContext* session = nullptr) const;
 
   /// QuestionService: answer == ask. ask() is const and runs against an
   /// immutable pinned snapshot, so concurrent calls are safe even while

@@ -328,10 +328,32 @@ void Server::process(Request& req) {
       .observe(steady_seconds() - req.enqueue_seconds);
 }
 
+rag::WorkflowOutcome Server::run_session_turn(
+    const std::string& question, rag::SessionPromptContext& session,
+    double queue_wait_seconds) {
+  pkb::resilience::RequestContext ctx;
+  pkb::resilience::RequestContext* ctxp = nullptr;
+  if (opts_.resilience != nullptr) {
+    ctx = opts_.resilience->make_context();
+    // Real time spent queued in the session lane comes off the budget,
+    // mirroring the worker path's queue-wait charge.
+    ctx.budget.charge(queue_wait_seconds);
+    ctxp = &ctx;
+  }
+  rag::WorkflowOutcome outcome =
+      run_pipeline(question, nullptr, ctxp, &session);
+  if (outcome.degraded()) degraded_.fetch_add(1, std::memory_order_relaxed);
+  if (outcome.retrieval.shards_failed > 0) {
+    partial_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return outcome;
+}
+
 rag::WorkflowOutcome Server::run_pipeline(
     const std::string& question,
     std::unique_ptr<rag::RetrievalResult> retrieval,
-    pkb::resilience::RequestContext* ctx) {
+    pkb::resilience::RequestContext* ctx,
+    rag::SessionPromptContext* session) {
   obs::MetricsRegistry& metrics = obs::global_metrics();
   pkb::util::Stopwatch watch;
 
@@ -347,7 +369,7 @@ rag::WorkflowOutcome Server::run_pipeline(
   const rag::Retriever* retriever = workflow_.retriever();
   if (retrieval != nullptr) {
     outcome = workflow_.ask_with_retrieval(question, std::move(*retrieval),
-                                           ctx, trace);
+                                           ctx, trace, session);
   } else if (retriever != nullptr) {
     // Single path: pin one snapshot for the whole request, memoize the
     // query embedding against it, then retrieve on it.
@@ -358,21 +380,21 @@ rag::WorkflowOutcome Server::run_pipeline(
         rag::RetrievalResult result =
             retriever->retrieve_with_embedding(snap, question, vec);
         outcome = workflow_.ask_with_retrieval(question, std::move(result),
-                                               ctx, trace);
+                                               ctx, trace, session);
       } catch (const pkb::resilience::FaultError&) {
         // Retrieval lost past its hedges: answer parametrically.
         ctx->degrade(pkb::resilience::DegradationLevel::NoRetrieval);
         outcome = workflow_.ask_with_retrieval(
-            question, rag::RetrievalResult{}, ctx, trace);
+            question, rag::RetrievalResult{}, ctx, trace, session);
       }
     } else {
       outcome = workflow_.ask_with_retrieval(
           question, retriever->retrieve_with_embedding(snap, question, vec),
-          nullptr, trace);
+          nullptr, trace, session);
     }
   } else {
     // Baseline arm: no retrieval stage.
-    outcome = workflow_.ask(question, ctx, trace);
+    outcome = workflow_.ask(question, ctx, trace, session);
   }
   computed_.fetch_add(1, std::memory_order_relaxed);
   if (trace != nullptr) opts_.recorder->record(std::move(trace_storage));

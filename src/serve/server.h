@@ -125,6 +125,20 @@ class Server final : public rag::QuestionService {
   [[nodiscard]] std::vector<rag::WorkflowOutcome> ask_batch(
       const std::vector<std::string>& questions);
 
+  /// Run one session turn through the pipeline on the caller's thread —
+  /// the session serving layer's entry point (serve/session.h calls this
+  /// from its affinity lanes; it owns its own queues and admission
+  /// control, so the server's request queue is not involved). The answer
+  /// cache is bypassed in both directions: a session prompt depends on the
+  /// session's retrieval memory and conversation history, so its outcome
+  /// is neither reusable by nor reusable from sessionless traffic. The
+  /// embedding memo, resilience treatment (with `queue_wait_seconds`
+  /// charged to the budget), trace recorder, and latency realization are
+  /// all shared with the normal paths.
+  [[nodiscard]] rag::WorkflowOutcome run_session_turn(
+      const std::string& question, rag::SessionPromptContext& session,
+      double queue_wait_seconds);
+
   /// Graceful shutdown: stop accepting, drain the queue, join the workers.
   /// Idempotent; called by the destructor.
   void stop();
@@ -185,7 +199,8 @@ class Server final : public rag::QuestionService {
   [[nodiscard]] rag::WorkflowOutcome run_pipeline(
       const std::string& question,
       std::unique_ptr<rag::RetrievalResult> retrieval,
-      resilience::RequestContext* ctx);
+      resilience::RequestContext* ctx,
+      rag::SessionPromptContext* session = nullptr);
   void publish_queue_gauges();
 
   const rag::AugmentedWorkflow& workflow_;

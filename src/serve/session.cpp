@@ -1,0 +1,402 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pkb::serve {
+
+std::string_view to_string(Admission admission) {
+  switch (admission) {
+    case Admission::Admitted:
+      return "admitted";
+    case Admission::ShedSessionInflight:
+      return "session_inflight";
+    case Admission::ShedQueueFull:
+      return "queue_full";
+    case Admission::ShedNewSession:
+      return "new_session";
+    case Admission::ShedDeadline:
+      return "deadline";
+  }
+  return "?";
+}
+
+SessionManager::SessionManager(Server& server, SessionOptions opts)
+    : server_(server), opts_(std::move(opts)) {
+  if (opts_.lanes == 0) opts_.lanes = 1;
+  if (opts_.lane_queue_capacity == 0) opts_.lane_queue_capacity = 1;
+  if (opts_.max_sessions == 0) opts_.max_sessions = 1;
+  if (opts_.max_inflight_per_session == 0) opts_.max_inflight_per_session = 1;
+  if (!opts_.clock) opts_.clock = steady_seconds;
+  lanes_.reserve(opts_.lanes);
+  for (std::size_t i = 0; i < opts_.lanes; ++i) {
+    lanes_.push_back(std::make_unique<Lane>(opts_.lane_queue_capacity));
+  }
+  for (std::size_t i = 0; i < opts_.lanes; ++i) {
+    Lane& lane = *lanes_[i];
+    lane.index = i;
+    lane.worker = std::thread([this, &lane] { lane_loop(lane); });
+  }
+}
+
+SessionManager::~SessionManager() { stop(); }
+
+void SessionManager::stop() {
+  if (stopped_.exchange(true)) return;
+  for (auto& lane : lanes_) lane->queue.close();
+  for (auto& lane : lanes_) {
+    if (lane->worker.joinable()) lane->worker.join();
+  }
+  // Final per-session turn counts for the distribution histogram (evicted
+  // sessions were observed at eviction time).
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (const auto& [id, session] : sessions_) {
+    metrics.histogram(obs::kSessionTurnsPerSession)
+        .observe(static_cast<double>(
+            session->turns.load(std::memory_order_relaxed)));
+  }
+}
+
+std::size_t SessionManager::lane_of(const std::string& session_id) const {
+  return std::hash<std::string>{}(session_id) % lanes_.size();
+}
+
+double SessionManager::now_seconds() const { return opts_.clock(); }
+
+std::future<TurnOutcome> SessionManager::submit(const std::string& session_id,
+                                                std::string question) {
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  metrics.counter(obs::kSessionTurnsTotal).inc();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  obs::Span span(obs::global_tracer(), obs::kSpanAdmission);
+  span.set_attr("session", session_id);
+  const double now = now_seconds();
+  // A stopped manager sheds instead of throwing: submit() never blocks and
+  // never fails a future, even racing shutdown.
+  if (stopped_.load(std::memory_order_relaxed)) {
+    span.set_attr("decision", to_string(Admission::ShedQueueFull));
+    return shed_turn(session_id, Admission::ShedQueueFull);
+  }
+  sweep_idle(now);
+
+  bool created = false;
+  std::shared_ptr<Session> session =
+      lookup_session(session_id, /*create_if_missing=*/false, created);
+  const bool is_new = session == nullptr;
+  const std::size_t lane_idx = lane_of(session_id);
+  Lane& lane = *lanes_[lane_idx];
+  const std::size_t depth = lane.queue.size();
+  span.set_attr("lane", static_cast<std::uint64_t>(lane_idx));
+  span.set_attr("depth", static_cast<std::uint64_t>(depth));
+  span.set_attr("new_session", is_new);
+
+  // Admission, in shed order: a runaway session first, hard lane capacity
+  // second, new-before-in-flight at the watermark third, and the
+  // estimated-wait deadline last.
+  Admission decision = Admission::Admitted;
+  if (session != nullptr && session->inflight.load(std::memory_order_relaxed)
+                                >= opts_.max_inflight_per_session) {
+    decision = Admission::ShedSessionInflight;
+  } else if (depth >= lane.queue.capacity()) {
+    decision = Admission::ShedQueueFull;
+  } else if (is_new && opts_.new_session_shed_fraction > 0.0 &&
+             static_cast<double>(depth) >=
+                 opts_.new_session_shed_fraction *
+                     static_cast<double>(lane.queue.capacity())) {
+    decision = Admission::ShedNewSession;
+  } else if (opts_.admission_deadline_seconds > 0.0) {
+    double estimate = lane.ema_turn_seconds.load(std::memory_order_relaxed);
+    if (estimate <= 0.0) estimate = opts_.initial_turn_seconds_estimate;
+    if (estimate * static_cast<double>(depth + 1) >
+        opts_.admission_deadline_seconds) {
+      decision = Admission::ShedDeadline;
+    }
+  }
+  if (decision != Admission::Admitted) {
+    span.set_attr("decision", to_string(decision));
+    return shed_turn(session_id, decision);
+  }
+
+  if (session == nullptr) {
+    session = lookup_session(session_id, /*create_if_missing=*/true, created);
+  }
+  session->last_active_seconds.store(now, std::memory_order_relaxed);
+  session->inflight.fetch_add(1, std::memory_order_relaxed);
+
+  Turn turn;
+  turn.session = session;
+  turn.question = std::move(question);
+  turn.submit_seconds = now;
+  std::promise<TurnOutcome> promise;
+  std::future<TurnOutcome> future = promise.get_future();
+  turn.promise = std::move(promise);
+  if (!lane.queue.try_push(std::move(turn))) {
+    // Raced to full (or closed) between the depth check and the push.
+    session->inflight.fetch_sub(1, std::memory_order_relaxed);
+    span.set_attr("decision", to_string(Admission::ShedQueueFull));
+    return shed_turn(session_id, Admission::ShedQueueFull);
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  span.set_attr("decision", to_string(Admission::Admitted));
+  publish_gauges();
+  return future;
+}
+
+TurnOutcome SessionManager::ask(const std::string& session_id,
+                                std::string question) {
+  return submit(session_id, std::move(question)).get();
+}
+
+std::future<TurnOutcome> SessionManager::shed_turn(
+    const std::string& session_id, Admission reason) {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  switch (reason) {
+    case Admission::ShedSessionInflight:
+      shed_session_inflight_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Admission::ShedQueueFull:
+      shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Admission::ShedNewSession:
+      shed_new_session_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Admission::ShedDeadline:
+      shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Admission::Admitted:
+      break;
+  }
+  obs::global_metrics()
+      .counter(obs::kSessionShedTotal,
+               {{"reason", std::string(to_string(reason))}})
+      .inc();
+
+  // The typed Overload answer: the bottom rung of the degradation ladder,
+  // resolved on the caller's thread — a shed turn never occupies a lane.
+  TurnOutcome out;
+  out.admission = reason;
+  out.session_id = session_id;
+  out.outcome.degradation = resilience::DegradationLevel::Unavailable;
+  out.outcome.response.mode = "shed-overload";
+  out.outcome.response.text =
+      "[overload] The assistant is shedding load (" +
+      std::string(to_string(reason)) + "); please retry shortly.";
+  out.outcome.processed.plain_text = out.outcome.response.text;
+  std::promise<TurnOutcome> promise;
+  promise.set_value(std::move(out));
+  return promise.get_future();
+}
+
+std::shared_ptr<SessionManager::Session> SessionManager::lookup_session(
+    const std::string& session_id, bool create_if_missing, bool& created) {
+  created = false;
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(session_id);
+  if (it != sessions_.end()) {
+    // Touch: most recently active moves to the back of the LRU list.
+    lru_.splice(lru_.end(), lru_, it->second->lru_pos);
+    return it->second;
+  }
+  if (!create_if_missing) return nullptr;
+  while (sessions_.size() >= opts_.max_sessions && !lru_.empty()) {
+    evict_locked(lru_.front());
+  }
+  auto session = std::make_shared<Session>();
+  session->id = session_id;
+  session->last_active_seconds.store(now_seconds(),
+                                     std::memory_order_relaxed);
+  lru_.push_back(session_id);
+  session->lru_pos = std::prev(lru_.end());
+  sessions_.emplace(session_id, session);
+  created = true;
+  sessions_created_.fetch_add(1, std::memory_order_relaxed);
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  metrics.counter(obs::kSessionCreatedTotal).inc();
+  metrics.gauge(obs::kSessionActive)
+      .set(static_cast<double>(sessions_.size()));
+  return session;
+}
+
+void SessionManager::evict_locked(const std::string& session_id) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  metrics.histogram(obs::kSessionTurnsPerSession)
+      .observe(static_cast<double>(
+          it->second->turns.load(std::memory_order_relaxed)));
+  // An in-flight turn keeps the Session alive through its shared_ptr and
+  // completes against the orphaned state; only the id mapping goes away.
+  lru_.erase(it->second->lru_pos);
+  sessions_.erase(it);
+  sessions_evicted_.fetch_add(1, std::memory_order_relaxed);
+  metrics.counter(obs::kSessionEvictedTotal).inc();
+  metrics.gauge(obs::kSessionActive)
+      .set(static_cast<double>(sessions_.size()));
+}
+
+void SessionManager::sweep_idle(double now) {
+  if (opts_.session_idle_ttl_seconds <= 0.0) return;
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  while (!lru_.empty()) {
+    auto it = sessions_.find(lru_.front());
+    if (it == sessions_.end()) {
+      lru_.pop_front();
+      continue;
+    }
+    const double idle =
+        now - it->second->last_active_seconds.load(std::memory_order_relaxed);
+    if (idle < opts_.session_idle_ttl_seconds) break;
+    evict_locked(lru_.front());
+  }
+}
+
+void SessionManager::publish_gauges() {
+  std::size_t depth = 0;
+  for (const auto& lane : lanes_) depth += lane->queue.size();
+  obs::global_metrics()
+      .gauge(obs::kSessionLaneDepth)
+      .set(static_cast<double>(depth));
+}
+
+void SessionManager::lane_loop(Lane& lane) {
+  while (std::optional<Turn> turn = lane.queue.pop()) {
+    process_turn(lane, *turn);
+  }
+}
+
+void SessionManager::process_turn(Lane& lane, Turn& turn) {
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  const double start = now_seconds();
+  const double wait = std::max(0.0, start - turn.submit_seconds);
+  metrics.histogram(obs::kSessionQueueWaitSeconds).observe(wait);
+  metrics.gauge(obs::kSessionInflight).add(1.0);
+  publish_gauges();
+
+  Session& session = *turn.session;
+  obs::Span span(obs::global_tracer(), obs::kSpanSessionTurn);
+  span.set_attr("session", session.id);
+  span.set_attr("lane", static_cast<std::uint64_t>(lane.index));
+
+  // Session state below is touched without a lock: affinity makes this
+  // lane's worker the only writer of this session's memory and history.
+  rag::SessionPromptContext prompt_ctx;
+  if (!session.seen_context_ids.empty()) {
+    prompt_ctx.seen_context_ids = &session.seen_context_ids;
+    prompt_ctx.memory_generation = session.memory_generation;
+  }
+  std::vector<llm::ContextDoc> history(session.history.begin(),
+                                       session.history.end());
+  if (!history.empty()) prompt_ctx.history_contexts = &history;
+
+  TurnOutcome out;
+  out.session_id = session.id;
+  out.queue_wait_seconds = wait;
+  out.turn = session.turns.fetch_add(1, std::memory_order_relaxed) + 1;
+  span.set_attr("turn", out.turn);
+  try {
+    out.outcome = server_.run_session_turn(turn.question, prompt_ctx, wait);
+    out.deduped_contexts = prompt_ctx.deduped;
+    out.history_contexts = prompt_ctx.history_attached;
+
+    if (prompt_ctx.memory_stale) {
+      // The knowledge base swapped generations mid-session: every memory
+      // entry may have been re-ingested, so the whole memory resets and
+      // restamps at the turn's generation.
+      session.seen_context_ids.clear();
+      session.seen_order.clear();
+      memory_invalidations_.fetch_add(1, std::memory_order_relaxed);
+      metrics.counter(obs::kSessionMemoryInvalidationsTotal).inc();
+    }
+    session.memory_generation = out.outcome.generation;
+    for (std::string& id : prompt_ctx.attached_context_ids) {
+      if (session.seen_context_ids.insert(id).second) {
+        session.seen_order.push_back(std::move(id));
+        if (session.seen_order.size() > opts_.max_memory_entries) {
+          session.seen_context_ids.erase(session.seen_order.front());
+          session.seen_order.pop_front();
+        }
+      }
+    }
+    if (opts_.max_history_turns > 0) {
+      llm::ContextDoc doc;
+      doc.id = "session:" + session.id + ":turn:" + std::to_string(out.turn);
+      doc.title = "Earlier in this conversation";
+      doc.text = "Q: " + turn.question + "\nA: " +
+                 (out.outcome.processed.plain_text.empty()
+                      ? out.outcome.response.text
+                      : out.outcome.processed.plain_text);
+      session.history.push_back(std::move(doc));
+      while (session.history.size() > opts_.max_history_turns) {
+        session.history.pop_front();
+      }
+    }
+
+    if (prompt_ctx.deduped > 0) {
+      dedup_dropped_.fetch_add(prompt_ctx.deduped,
+                               std::memory_order_relaxed);
+      metrics.counter(obs::kSessionDedupDroppedTotal)
+          .inc(prompt_ctx.deduped);
+    }
+    if (prompt_ctx.history_attached > 0) {
+      metrics.counter(obs::kSessionHistoryContextsTotal)
+          .inc(prompt_ctx.history_attached);
+    }
+    span.set_attr("deduped",
+                  static_cast<std::uint64_t>(prompt_ctx.deduped));
+    span.set_attr("history",
+                  static_cast<std::uint64_t>(prompt_ctx.history_attached));
+    span.set_attr("degradation",
+                  resilience::to_string(out.outcome.degradation));
+
+    out.turn_seconds = std::max(0.0, now_seconds() - turn.submit_seconds);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    metrics.histogram(obs::kSessionTurnSeconds).observe(out.turn_seconds);
+    turn.promise.set_value(std::move(out));
+  } catch (...) {
+    turn.promise.set_exception(std::current_exception());
+  }
+
+  const double end = now_seconds();
+  const double service = std::max(0.0, end - start);
+  const double prev = lane.ema_turn_seconds.load(std::memory_order_relaxed);
+  lane.ema_turn_seconds.store(prev <= 0.0 ? service
+                                          : 0.8 * prev + 0.2 * service,
+                              std::memory_order_relaxed);
+  session.last_active_seconds.store(end, std::memory_order_relaxed);
+  session.inflight.fetch_sub(1, std::memory_order_relaxed);
+  metrics.gauge(obs::kSessionInflight).add(-1.0);
+  publish_gauges();
+}
+
+SessionManager::Stats SessionManager::stats() const {
+  Stats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.shed_session_inflight =
+      shed_session_inflight_.load(std::memory_order_relaxed);
+  s.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
+  s.shed_new_session = shed_new_session_.load(std::memory_order_relaxed);
+  s.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  s.sessions_created = sessions_created_.load(std::memory_order_relaxed);
+  s.sessions_evicted = sessions_evicted_.load(std::memory_order_relaxed);
+  s.dedup_dropped = dedup_dropped_.load(std::memory_order_relaxed);
+  s.memory_invalidations =
+      memory_invalidations_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    s.active_sessions = sessions_.size();
+  }
+  for (const auto& lane : lanes_) s.queue_depth += lane->queue.size();
+  return s;
+}
+
+}  // namespace pkb::serve
